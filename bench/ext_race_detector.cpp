@@ -1,0 +1,133 @@
+// Extension bench: cost of the FastTrack-style race detector (src/raceck/),
+// the paper's §2 "detect" runtime-support example, built on pessimistic
+// instrumentation atomicity.
+//
+// Reported: overhead of race-checked accesses over raw accesses for three
+// access patterns (thread-private, lock-synchronized shared, racy shared) —
+// illustrating §2.1's point that pessimistic-style clients pay on every
+// access regardless of conflict rate, the motivation for hybrid tracking.
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cycle_timer.hpp"
+#include "common/stats.hpp"
+#include "raceck/race_detector.hpp"
+#include "runtime/runtime.hpp"
+#include "workload/harness.hpp"
+
+using namespace ht;
+
+namespace {
+
+constexpr int kThreads = 4;
+
+template <typename Body>
+double run_timed(Body&& body) {
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  WallTimer timer;
+  std::atomic<double> seconds{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      if (i == 0) timer.reset();
+      body(i);
+      if (i == 0) seconds.store(timer.elapsed_seconds());
+    });
+  }
+  for (auto& t : threads) t.join();
+  return seconds.load();
+}
+
+struct Pattern {
+  const char* name;
+  bool shared;
+  bool locked;
+};
+
+void bench_pattern(const Pattern& p, std::uint64_t iters, int trials) {
+  RunStats base, checked;
+  std::uint64_t races = 0;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    // Baseline: raw atomic accesses with the same loop structure.
+    {
+      std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> slots;
+      for (int i = 0; i < kThreads; ++i)
+        slots.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+      std::mutex mu;
+      base.add(run_timed([&](int t) {
+        auto& slot = *slots[p.shared ? 0 : static_cast<std::size_t>(t)];
+        for (std::uint64_t j = 0; j < iters; ++j) {
+          if (p.locked) mu.lock();
+          slot.store(slot.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+          if (p.locked) mu.unlock();
+          if (j % 64 == 0) std::this_thread::yield();
+        }
+      }));
+    }
+    // Race-checked.
+    {
+      Runtime rt;
+      RaceDetector rd(kThreads);
+      std::vector<std::unique_ptr<RaceCheckedVar<std::uint64_t>>> slots;
+      for (int i = 0; i < kThreads; ++i)
+        slots.push_back(std::make_unique<RaceCheckedVar<std::uint64_t>>());
+      std::mutex mu;
+      std::vector<ThreadContext*> ctxs(kThreads, nullptr);
+      std::mutex reg_mu;
+      checked.add(run_timed([&](int t) {
+        ThreadContext* ctx;
+        {
+          std::lock_guard<std::mutex> g(reg_mu);
+          ctx = &rt.register_thread();
+          rd.attach_thread(*ctx);
+          ctxs[static_cast<std::size_t>(t)] = ctx;
+        }
+        auto& slot = *slots[p.shared ? 0 : static_cast<std::size_t>(t)];
+        for (std::uint64_t j = 0; j < iters; ++j) {
+          if (p.locked) {
+            mu.lock();
+            rd.on_acquire(*ctx, &mu);
+          }
+          slot.store(rd, *ctx, slot.load(rd, *ctx) + 1);
+          if (p.locked) {
+            rd.on_release(*ctx, &mu);
+            mu.unlock();
+          }
+          if (j % 64 == 0) std::this_thread::yield();
+        }
+      }));
+      races = rd.total_report(kThreads).total();
+    }
+  }
+
+  const Overhead o = overhead_vs(base, checked);
+  std::printf("%-18s %9.1f%% (±%5.1f%%)   races reported: %llu\n", p.name,
+              o.median_pct, o.ci_half_pct,
+              static_cast<unsigned long long>(races));
+}
+
+}  // namespace
+
+int main() {
+  const int trials = trials_from_env(3);
+  const double scale = scale_from_env();
+  const auto iters = static_cast<std::uint64_t>(30'000 * scale);
+
+  std::printf("== extension: FastTrack-style race detector overhead "
+              "(%d threads x %llu ops, median of %d) ==\n\n",
+              kThreads, static_cast<unsigned long long>(iters), trials);
+  bench_pattern({"private", false, false}, iters, trials);
+  bench_pattern({"shared+locked", true, true}, iters, trials);
+  bench_pattern({"shared+racy", true, false}, iters, trials);
+  std::printf("\nnote: per-access analysis cost is paid even for the "
+              "conflict-free private pattern —\nthe pessimistic-client cost "
+              "structure that motivates hybrid tracking (§1, §2.1).\n");
+  return 0;
+}

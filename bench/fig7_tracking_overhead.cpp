@@ -1,0 +1,120 @@
+// Fig 7: run-time overhead of dependence tracking alone — Pessimistic,
+// Optimistic, Hybrid w/infinite cutoff, Hybrid, and the unsound Ideal bound,
+// over the no-tracking baseline, for all 13 workload profiles.
+//
+// Paper shapes to reproduce:
+//   * pessimistic is by far the most expensive everywhere;
+//   * optimistic is cheap for low-conflict profiles but blows up for
+//     high-conflict ones (xalan6, pjbb2005);
+//   * hybrid w/infinite cutoff costs only a little more than optimistic;
+//   * hybrid recovers most of the gap between optimistic and Ideal on the
+//     high-conflict profiles and roughly ties optimistic elsewhere;
+//   * geomean: hybrid < optimistic < pessimistic.
+#include <cstdio>
+#include <vector>
+
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/ideal_tracker.hpp"
+#include "tracking/null_tracker.hpp"
+#include "tracking/optimistic_tracker.hpp"
+#include "tracking/pessimistic_tracker.hpp"
+#include "workload/apis.hpp"
+#include "workload/harness.hpp"
+#include "workload/profiles.hpp"
+
+using namespace ht;
+
+namespace {
+
+template <typename MakeTrackerAndRun>
+RunStats measure(int trials, MakeTrackerAndRun&& once) {
+  return run_trials(trials, once);
+}
+
+}  // namespace
+
+int main() {
+  const int trials = trials_from_env(3);
+  const double scale = scale_from_env();
+
+  std::printf("== Fig 7: run-time overhead of tracking alone (median of %d "
+              "trials, ±95%% CI) ==\n\n", trials);
+  const std::vector<std::string> configs = {
+      "Pessimistic", "Optimistic", "Hybrid w/inf cutoff", "Hybrid", "Ideal"};
+  print_overhead_header(configs);
+
+  std::vector<std::vector<double>> medians(configs.size());
+
+  for (const WorkloadConfig& cfg : paper_profiles(scale)) {
+    WorkloadData data(cfg);
+
+    const RunStats base = measure(trials, [&] {
+      Runtime rt;
+      NullTracker trk(rt);
+      return run_workload(cfg, data, [&](ThreadId) {
+        return DirectApi<NullTracker>(rt, trk);
+      });
+    });
+
+    std::vector<Overhead> row;
+
+    const RunStats pess = measure(trials, [&] {
+      Runtime rt;
+      PessimisticTracker<> trk(rt);
+      return run_workload(cfg, data, [&](ThreadId) {
+        return DirectApi<PessimisticTracker<>>(rt, trk);
+      });
+    });
+    row.push_back(overhead_vs(base, pess));
+
+    const RunStats opt = measure(trials, [&] {
+      Runtime rt;
+      OptimisticTracker<> trk(rt);
+      return run_workload(cfg, data, [&](ThreadId) {
+        return DirectApi<OptimisticTracker<>>(rt, trk);
+      });
+    });
+    row.push_back(overhead_vs(base, opt));
+
+    const RunStats hyb_inf = measure(trials, [&] {
+      Runtime rt;
+      HybridConfig hc;
+      hc.policy = PolicyConfig::infinite();
+      HybridTracker<> trk(rt, hc);
+      return run_workload(cfg, data, [&](ThreadId) {
+        return DirectApi<HybridTracker<>>(rt, trk);
+      });
+    });
+    row.push_back(overhead_vs(base, hyb_inf));
+
+    const RunStats hyb = measure(trials, [&] {
+      Runtime rt;
+      HybridTracker<> trk(rt, HybridConfig{});
+      return run_workload(cfg, data, [&](ThreadId) {
+        return DirectApi<HybridTracker<>>(rt, trk);
+      });
+    });
+    row.push_back(overhead_vs(base, hyb));
+
+    const RunStats ideal = measure(trials, [&] {
+      Runtime rt;
+      IdealTracker<> trk(rt);
+      return run_workload(cfg, data, [&](ThreadId) {
+        return DirectApi<IdealTracker<>>(rt, trk);
+      });
+    });
+    row.push_back(overhead_vs(base, ideal));
+
+    print_overhead_row(cfg.name, row);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      medians[i].push_back(row[i].median_pct);
+    }
+  }
+
+  print_geomean_row(medians);
+  std::printf("\npaper geomeans: pessimistic 340%%, optimistic 28%%, hybrid "
+              "w/inf 30%%, hybrid 22%%, ideal 14%%\n");
+  std::printf("(absolute values differ on this 1-core container — compare "
+              "orderings and per-profile shapes; see EXPERIMENTS.md)\n");
+  return 0;
+}

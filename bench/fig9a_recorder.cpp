@@ -1,0 +1,104 @@
+// Fig 9(a): run-time overhead of the dependence recorders and replayers —
+// optimistic recorder/replayer (prior work [10]) vs hybrid recorder/replayer
+// (§4.2) — over the no-tracking baseline, on the 12 recorder profiles
+// (eclipse6 excluded, §7.6).
+//
+// Paper shapes:
+//   * the hybrid recorder beats the optimistic recorder on high-conflict
+//     profiles (xalan6/9, pjbb2005) and is comparable elsewhere
+//     (geomean 46% -> 41%);
+//   * replay is cheaper than record (20% / 24%) and can even beat the
+//     baseline on lock-dominated profiles, because replay elides program
+//     synchronization;
+//   * the hybrid replayer is slightly slower than the optimistic replayer
+//     (release-counter maintenance; dependences cannot be reduced).
+#include <cstdio>
+#include <vector>
+
+#include "recorder/recorder.hpp"
+#include "recorder/replayer.hpp"
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/null_tracker.hpp"
+#include "tracking/optimistic_tracker.hpp"
+#include "workload/apis.hpp"
+#include "workload/harness.hpp"
+#include "workload/profiles.hpp"
+
+using namespace ht;
+
+namespace {
+
+// One record trial + one replay trial for the given tracker family; returns
+// {record stats, replay stats} pair appended into the RunStats accumulators.
+template <template <bool, typename> class TrackerT>
+void record_and_replay_once(const WorkloadConfig& cfg, WorkloadData& data,
+                            RunStats& record_stats, RunStats& replay_stats) {
+  Runtime rt;
+  DependenceRecorder recorder(rt);
+  using Tracker = TrackerT<false, DependenceRecorder>;
+  Tracker tracker = [&] {
+    if constexpr (std::is_constructible_v<Tracker, Runtime&, HybridConfig,
+                                          DependenceRecorder*>) {
+      return Tracker(rt, HybridConfig{}, &recorder);
+    } else {
+      return Tracker(rt, &recorder);
+    }
+  }();
+
+  const WorkloadRunResult rec = run_workload(cfg, data, [&](ThreadId) {
+    return DirectApi<Tracker>(rt, tracker, &recorder);
+  });
+  record_stats.add(rec.seconds);
+
+  const Recording recording =
+      recorder.take_recording(static_cast<ThreadId>(cfg.threads));
+  Replayer replayer(recording);
+  const WorkloadRunResult rep = run_workload(
+      cfg, data, [&](ThreadId) { return ReplayApi(replayer); });
+  replay_stats.add(rep.seconds);
+}
+
+}  // namespace
+
+int main() {
+  const int trials = trials_from_env(3);
+  const double scale = scale_from_env();
+
+  std::printf("== Fig 9(a): dependence recorder & replayer overhead (median "
+              "of %d trials) ==\n\n", trials);
+  print_overhead_header(
+      {"Opt. recorder", "Opt. replayer", "Hybrid recorder", "Hybrid replayer"});
+
+  std::vector<std::vector<double>> medians(4);
+
+  for (const WorkloadConfig& cfg : recorder_profiles(scale)) {
+    WorkloadData data(cfg);
+
+    const RunStats base = run_trials(trials, [&] {
+      Runtime rt;
+      NullTracker trk(rt);
+      return run_workload(cfg, data, [&](ThreadId) {
+        return DirectApi<NullTracker>(rt, trk);
+      });
+    });
+
+    RunStats opt_rec, opt_rep, hyb_rec, hyb_rep;
+    for (int i = 0; i < trials; ++i) {
+      record_and_replay_once<OptimisticTracker>(cfg, data, opt_rec, opt_rep);
+      record_and_replay_once<HybridTracker>(cfg, data, hyb_rec, hyb_rep);
+    }
+
+    const std::vector<Overhead> row = {
+        overhead_vs(base, opt_rec), overhead_vs(base, opt_rep),
+        overhead_vs(base, hyb_rec), overhead_vs(base, hyb_rep)};
+    print_overhead_row(cfg.name, row);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      medians[i].push_back(row[i].median_pct);
+    }
+  }
+
+  print_geomean_row(medians);
+  std::printf("\npaper geomeans: opt recorder 46%%, opt replayer 20%%, hybrid "
+              "recorder 41%%, hybrid replayer 24%%\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 2: state transitions under hybrid tracking, with optimistic-alone
+// counts in parentheses, for every workload profile.
+//
+// Columns (as in the paper): optimistic same-state and conflicting
+// transitions, pessimistic uncontended (with % reentrant) and contended
+// transitions, and object transfers Opt->Pess / Pess->Opt. Shapes to check
+// against the paper: high-conflict synchronized profiles (xalan6/9,
+// pjbb2005) show large reductions in conflicting transitions; racy profiles
+// (avrora9, pjbb2005) retain contended transitions; low-conflict profiles
+// are essentially untouched.
+#include <cstdio>
+
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/optimistic_tracker.hpp"
+#include "workload/apis.hpp"
+#include "workload/harness.hpp"
+#include "workload/profiles.hpp"
+
+using namespace ht;
+
+int main() {
+  const double scale = scale_from_env();
+  std::printf("== Table 2: state transitions, hybrid tracking "
+              "(optimistic-alone in parentheses) ==\n\n");
+  std::printf("%-12s %12s %22s %10s %6s %10s %9s %9s\n", "workload",
+              "opt-same", "opt-conflicting", "pess-unc", "%reen", "pess-cont",
+              "opt->pess", "pess->opt");
+  print_table_rule(100);
+
+  for (const WorkloadConfig& cfg : paper_profiles(scale)) {
+    WorkloadData data(cfg);
+
+    TransitionStats opt;
+    {
+      Runtime rt;
+      OptimisticTracker<true> trk(rt);
+      opt = run_workload(cfg, data, [&](ThreadId) {
+              return DirectApi<OptimisticTracker<true>>(rt, trk);
+            }).stats;
+    }
+    TransitionStats hyb;
+    {
+      Runtime rt;
+      HybridTracker<true> trk(rt, HybridConfig{});
+      hyb = run_workload(cfg, data, [&](ThreadId) {
+              return DirectApi<HybridTracker<true>>(rt, trk);
+            }).stats;
+    }
+
+    char confl_cell[40];
+    std::snprintf(confl_cell, sizeof confl_cell, "(%s) %s",
+                  format_sci(static_cast<double>(opt.opt_conflicting())).c_str(),
+                  format_sci(static_cast<double>(hyb.opt_conflicting())).c_str());
+    std::printf("%-12s %12s %22s %10s %5.0f%% %10s %9s %9s\n", cfg.name,
+                format_sci(static_cast<double>(hyb.opt_same)).c_str(),
+                confl_cell,
+                format_sci(static_cast<double>(hyb.pess_uncontended)).c_str(),
+                100.0 * hyb.reentrant_fraction(),
+                format_sci(static_cast<double>(hyb.pess_contended)).c_str(),
+                format_sci(static_cast<double>(hyb.opt_to_pess)).c_str(),
+                format_sci(static_cast<double>(hyb.pess_to_opt)).c_str());
+  }
+  std::printf("\n(run with HT_SCALE>1 for counts closer to the paper's "
+              "1e9-1e10 access range)\n");
+  return 0;
+}

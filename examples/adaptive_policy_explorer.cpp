@@ -1,0 +1,144 @@
+// Adaptive-policy explorer: watch one object's life under the cost-benefit
+// policy (§6) — optimistic birth, transfer to pessimistic states after
+// Cutoff_confl explicit conflicts, profiling while pessimistic, and the
+// Eq. 5 return to optimistic once conflicts stop.
+//
+//   build/examples/adaptive_policy_explorer [cutoff k_confl inertia]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/tracked_var.hpp"
+
+using namespace ht;
+
+namespace {
+
+void show(const char* what, const TrackedVar<std::uint64_t>& var) {
+  const ProfileWord p = var.meta().profile().load();
+  std::printf("%-44s state=%-18s optConfl=%-3u pessNonConfl=%-5u pessConfl=%-3u"
+              " wasPess=%d mustStayOpt=%d\n",
+              what, var.meta().load_state().to_string().c_str(),
+              p.opt_conflicts(), p.pess_non_confl(), p.pess_confl(),
+              p.was_pess() ? 1 : 0, p.must_stay_opt() ? 1 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PolicyConfig policy;
+  if (argc >= 4) {
+    policy.cutoff_confl = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    policy.k_confl = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    policy.inertia = static_cast<std::uint32_t>(std::atoi(argv[3]));
+  } else {
+    policy.inertia = 20;  // small inertia so the demo's phase 3 is short
+  }
+  std::printf("policy: Cutoff_confl=%u K_confl=%u Inertia=%u\n\n",
+              policy.cutoff_confl, policy.k_confl, policy.inertia);
+
+  Runtime rt;
+  HybridConfig hc;
+  hc.policy = policy;
+  HybridTracker<true> tracker(rt, hc);
+
+  ThreadContext& t0 = rt.register_thread();
+  tracker.attach_thread(t0);
+  TrackedVar<std::uint64_t> var;
+  var.init(tracker, t0, 0);
+  show("born (allocated by T0):", var);
+
+  // Phase 1: explicit conflicts — T1 takes the object from a *running* T0
+  // (driven from a second OS thread while T0 polls), then hands it back.
+  ThreadContext& t1 = rt.register_thread();
+  tracker.attach_thread(t1);
+  std::printf("\nphase 1: ping-pong writes between two running threads\n");
+  for (std::uint32_t round = 1; round <= policy.cutoff_confl; ++round) {
+    std::atomic<bool> done{false};
+    std::thread other([&] {
+      var.store(tracker, t1, round);  // conflicting, explicit
+      rt.psro(t1);                    // unlock if it went pessimistic
+      done.store(true);
+    });
+    while (!done.load()) {
+      rt.poll(t0);
+      std::this_thread::yield();
+    }
+    other.join();
+    char label[64];
+    std::snprintf(label, sizeof label, "  after explicit conflict #%u:", round);
+    show(label, var);
+    if (round < policy.cutoff_confl) {
+      // T0 takes it back (another explicit conflict is avoided by doing it
+      // while T1 is quiescent... it still conflicts and counts).
+      std::atomic<bool> back{false};
+      std::thread taker([&] {
+        var.store(tracker, t0, 0);
+        rt.psro(t0);
+        back.store(true);
+      });
+      while (!back.load()) {
+        rt.poll(t1);
+        std::this_thread::yield();
+      }
+      taker.join();
+      std::snprintf(label, sizeof label,
+                    "  after explicit conflict #%u (take-back):", round);
+      show(label, var);
+    }
+  }
+
+  // Phase 2: the object is now pessimistic and conflict-free — T1 works on
+  // it alone; every access is a cheap pessimistic transition. Eq. 5 needs
+  // NnonConfl >= K_confl * Nconfl + Inertia, so run exactly past that point.
+  std::printf("\nphase 2: conflicts stop; owner works alone "
+              "(pessimistic transitions accumulate)\n");
+  const std::uint64_t confl_so_far =
+      var.meta().profile().load().pess_confl();
+  const std::uint64_t needed =
+      static_cast<std::uint64_t>(policy.k_confl) * confl_so_far +
+      policy.inertia + 16;
+  std::printf("  (Eq. 5 needs >= %llu non-conflicting transitions: "
+              "K*%llu + Inertia)\n",
+              static_cast<unsigned long long>(needed),
+              static_cast<unsigned long long>(confl_so_far));
+  for (std::uint64_t i = 0; i < needed; ++i) {
+    var.store(tracker, t1, i);
+    if (i % 8 == 7) {
+      rt.psro(t1);  // PSRO: flush; policy re-evaluates Eq. 5 at each unlock
+    }
+    if (var.meta().load_state().is_optimistic()) break;
+  }
+  rt.psro(t1);
+  show("after conflict-free pessimistic phase:", var);
+
+  std::printf("\nphase 3: the object is pinned optimistic; further conflicts "
+              "never re-transfer (§6.2)\n");
+  for (int i = 0; i < 10; ++i) {
+    std::atomic<bool> done{false};
+    std::thread other([&] {
+      var.store(tracker, t0, 1);
+      done.store(true);
+    });
+    while (!done.load()) {
+      rt.poll(t1);
+      std::this_thread::yield();
+    }
+    other.join();
+    std::thread other2([&] {
+      var.store(tracker, t1, 1);
+      done.store(false);
+    });
+    while (done.load()) {
+      rt.poll(t0);
+      std::this_thread::yield();
+    }
+    other2.join();
+  }
+  show("after 20 more explicit conflicts:", var);
+
+  rt.unregister_thread(t1);
+  rt.unregister_thread(t0);
+  return 0;
+}

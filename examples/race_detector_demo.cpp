@@ -1,0 +1,89 @@
+// Race-detector demo (extension client): find the data races in a small
+// producer/consumer program, then fix them with a lock and watch the reports
+// disappear.
+//
+//   build/examples/race_detector_demo
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "raceck/race_detector.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace ht;
+
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kIters = 10'000;
+
+RaceReport run_variant(bool synchronized_version) {
+  Runtime rt;
+  RaceDetector rd(kThreads);
+  RaceCheckedVar<std::uint64_t> queue_head;
+  RaceCheckedVar<std::uint64_t> items_produced;
+  std::mutex mu;
+
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      ThreadContext& ctx = rt.register_thread();
+      rd.attach_thread(ctx);
+      if (ctx.id == 0) {
+        queue_head.init(rd, ctx, 0);
+        items_produced.init(rd, ctx, 0);
+      }
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+
+      for (int j = 0; j < kIters; ++j) {
+        if (synchronized_version) {
+          mu.lock();
+          rd.on_acquire(ctx, &mu);
+        }
+        // "Produce": bump the head and the counter — two writes that must
+        // be atomic together.
+        queue_head.store(rd, ctx, queue_head.load(rd, ctx) + 1);
+        items_produced.store(rd, ctx, items_produced.load(rd, ctx) + 1);
+        if (synchronized_version) {
+          rd.on_release(ctx, &mu);
+          mu.unlock();
+        }
+        if (j % 64 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return rd.total_report(kThreads);
+}
+
+}  // namespace
+
+int main() {
+  const RaceReport racy = run_variant(/*synchronized_version=*/false);
+  std::printf("racy version:         %llu races "
+              "(w-w %llu, w-r %llu, r-w %llu)\n",
+              static_cast<unsigned long long>(racy.total()),
+              static_cast<unsigned long long>(racy.write_write),
+              static_cast<unsigned long long>(racy.write_read),
+              static_cast<unsigned long long>(racy.read_write));
+
+  const RaceReport fixed = run_variant(/*synchronized_version=*/true);
+  std::printf("synchronized version: %llu races\n",
+              static_cast<unsigned long long>(fixed.total()));
+
+  if (racy.total() == 0) {
+    std::printf("(scheduling produced no observable races this run — rare "
+                "but possible)\n");
+  }
+  if (fixed.total() != 0) {
+    std::printf("ERROR: false positives on the synchronized version\n");
+    return 1;
+  }
+  std::printf("\nthe detector is the paper's §2 'detect' runtime-support "
+              "example (FastTrack-style,\nbuilt on pessimistic "
+              "instrumentation atomicity); see src/raceck/.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Record & replay demo: record a racy producer/consumer-style execution
+// with the hybrid dependence recorder, then replay it deterministically —
+// twice — showing that every replay observes the exact same (racy!) values
+// the recorded run did.
+//
+//   build/examples/record_replay_demo
+#include <cstdio>
+
+#include "recorder/recorder.hpp"
+#include "recorder/recording_analysis.hpp"
+#include "recorder/recording_io.hpp"
+#include "recorder/replayer.hpp"
+#include "tracking/hybrid_tracker.hpp"
+#include "workload/apis.hpp"
+#include "workload/workload.hpp"
+
+using namespace ht;
+
+int main() {
+  // A deliberately racy workload: hot objects written with no locks at all,
+  // so the recorded values depend entirely on the scheduling interleaving.
+  WorkloadConfig cfg;
+  cfg.name = "racy-demo";
+  cfg.threads = 4;
+  cfg.ops_per_thread = 20'000;
+  cfg.hotracy_p100k = 2'000;
+  cfg.hotsync_p100k = 1'000;
+  cfg.hot_objects = 8;
+  WorkloadData data(cfg);
+
+  // ---- record ----------------------------------------------------------------
+  Runtime rt;
+  DependenceRecorder recorder(rt);
+  using Tracker = HybridTracker<false, DependenceRecorder>;
+  Tracker tracker(rt, HybridConfig{}, &recorder);
+
+  const WorkloadRunResult recorded = run_workload(cfg, data, [&](ThreadId) {
+    return DirectApi<Tracker>(rt, tracker, &recorder);
+  });
+  const Recording recording =
+      recorder.take_recording(static_cast<ThreadId>(cfg.threads));
+
+  std::printf("recorded: %s in %.1f ms\n", recording.summary().c_str(),
+              recorded.seconds * 1e3);
+  std::printf("per-thread load checksums (these encode every racy value the "
+              "threads observed):\n");
+  for (int t = 0; t < cfg.threads; ++t) {
+    std::printf("  thread %d: %016llx\n", t,
+                static_cast<unsigned long long>(
+                    recorded.checksums[static_cast<std::size_t>(t)]));
+  }
+
+  // ---- persist and analyze -----------------------------------------------------
+  const char* path = "/tmp/ht_demo_recording.bin";
+  if (!save_recording(recording, path)) {
+    std::printf("failed to save the recording\n");
+    return 1;
+  }
+  const auto reloaded = load_recording(path);
+  if (!reloaded.has_value()) {
+    std::printf("failed to reload the recording\n");
+    return 1;
+  }
+  std::printf("\nsaved + reloaded %s; analysis: %s\n", path,
+              analyze_recording(*reloaded).summary().c_str());
+
+  // ---- replay (twice, from the reloaded file — determinism must hold) -----------
+  for (int round = 1; round <= 2; ++round) {
+    Replayer replayer(*reloaded);
+    const WorkloadRunResult replayed = run_workload(
+        cfg, data, [&](ThreadId) { return ReplayApi(replayer); });
+
+    bool all_equal = true;
+    for (int t = 0; t < cfg.threads; ++t) {
+      all_equal &= replayed.checksums[static_cast<std::size_t>(t)] ==
+                   recorded.checksums[static_cast<std::size_t>(t)];
+    }
+    std::printf("replay #%d: %.1f ms, %llu edges had to block, values %s\n",
+                round, replayed.seconds * 1e3,
+                static_cast<unsigned long long>(replayer.blocking_waits()),
+                all_equal ? "IDENTICAL to the recording"
+                          : "DIVERGED (recorder bug!)");
+    if (!all_equal) return 1;
+  }
+
+  std::printf("\nnote: replay runs no tracking and elides program locks — it "
+              "only enforces the\nrecorded happens-before edges, which is why "
+              "it can outrun the original (§7.6).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Invariant-checking macros.
+//
+// HT_ASSERT is always on: metadata-state invariants in the trackers are cheap
+// relative to the operations they guard (slow paths), and a silently corrupt
+// state word is far worse than the cost of the check. HT_DASSERT guards
+// hot-path checks and compiles away in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ht {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "HT_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ht
+
+#define HT_ASSERT(expr, msg)                                 \
+  do {                                                       \
+    if (!(expr)) ::ht::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define HT_DASSERT(expr, msg) HT_ASSERT(expr, msg)
+#else
+#define HT_DASSERT(expr, msg) \
+  do {                        \
+  } while (0)
+#endif

@@ -1,0 +1,34 @@
+// Cache-line geometry and padding helpers.
+//
+// Per-thread coordination metadata (status words, response flags, release
+// counters) is padded to a cache line so that one thread's spinning never
+// invalidates another thread's hot line (C++ Core Guidelines CP.free: avoid
+// false sharing on synchronization variables).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace ht {
+
+// Fixed at 64 (x86-64 and most AArch64): std::hardware_destructive_
+// interference_size is an ABI hazard GCC warns about, and padding to a
+// constant keeps struct layouts identical across translation units.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Wraps T in its own cache line. T must be default-constructible or
+// constructible from the forwarded arguments.
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  T value{};
+
+  CachePadded() = default;
+  explicit CachePadded(const T& v) : value(v) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace ht

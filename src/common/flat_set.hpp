@@ -1,0 +1,81 @@
+// Open-addressing pointer set used for each thread's read set (Table 3:
+// reentrant read-lock transitions test `o ∈ T.rdSet`).
+//
+// Requirements that rule out std::unordered_set: membership tests sit on the
+// pessimistic fast path, the set is cleared wholesale at every lock-buffer
+// flush, and it is only ever touched by its owning thread. A power-of-two
+// table with linear probing and a fast clear fits exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ht {
+
+class FlatPtrSet {
+ public:
+  explicit FlatPtrSet(std::size_t initial_capacity = 64) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.assign(cap, nullptr);
+  }
+
+  bool contains(const void* p) const {
+    HT_DASSERT(p != nullptr, "null pointer in FlatPtrSet");
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(p) & mask;
+    while (slots_[i] != nullptr) {
+      if (slots_[i] == p) return true;
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  // Inserts p; returns true if newly inserted.
+  bool insert(const void* p) {
+    HT_DASSERT(p != nullptr, "null pointer in FlatPtrSet");
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(p) & mask;
+    while (slots_[i] != nullptr) {
+      if (slots_[i] == p) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = p;
+    ++size_;
+    return true;
+  }
+
+  void clear() {
+    if (size_ == 0) return;
+    std::fill(slots_.begin(), slots_.end(), nullptr);
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  static std::size_t hash(const void* p) {
+    // Pointers are at least 8-byte aligned; mix with a Fibonacci multiplier.
+    auto v = reinterpret_cast<std::uintptr_t>(p) >> 3;
+    return static_cast<std::size_t>(v * 0x9e3779b97f4a7c15ULL >> 17);
+  }
+
+  void grow() {
+    std::vector<const void*> old = std::move(slots_);
+    slots_.assign(old.size() * 2, nullptr);
+    size_ = 0;
+    for (const void* p : old) {
+      if (p != nullptr) insert(p);
+    }
+  }
+
+  std::vector<const void*> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ht

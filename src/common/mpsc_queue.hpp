@@ -1,0 +1,60 @@
+// Intrusive multi-producer single-consumer queue for coordination requests.
+//
+// Producers are requester threads pushing stack-allocated request nodes; the
+// single consumer is the owning thread draining at a safe point. A Treiber
+// push + reverse-on-drain gives FIFO response order with one CAS per push and
+// one exchange per drain — the queue itself must not become the bottleneck it
+// is meant to measure.
+//
+// Lifetime contract: a node pushed here must stay alive until the consumer
+// has finished with it. Requesters keep nodes on their stack and spin on the
+// node's completion flag, which the consumer sets last, so the contract holds
+// by construction.
+#pragma once
+
+#include <atomic>
+
+#include "common/assert.hpp"
+
+namespace ht {
+
+template <typename Node>  // Node must expose `Node* next`
+class MpscQueue {
+ public:
+  MpscQueue() : head_(nullptr) {}
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Multi-producer push. Safe from any thread.
+  void push(Node* node) {
+    Node* old = head_.load(std::memory_order_relaxed);
+    do {
+      node->next = old;
+    } while (!head_.compare_exchange_weak(old, node, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  // Cheap emptiness probe for safepoint fast paths.
+  bool empty_relaxed() const {
+    return head_.load(std::memory_order_relaxed) == nullptr;
+  }
+
+  // Single-consumer drain: detaches the whole list and returns it in FIFO
+  // (push) order. Only the owning thread may call this.
+  Node* drain() {
+    Node* lifo = head_.exchange(nullptr, std::memory_order_acquire);
+    Node* fifo = nullptr;
+    while (lifo != nullptr) {
+      Node* next = lifo->next;
+      lifo->next = fifo;
+      fifo = lifo;
+      lifo = next;
+    }
+    return fifo;
+  }
+
+ private:
+  std::atomic<Node*> head_;
+};
+
+}  // namespace ht

@@ -1,0 +1,57 @@
+// Spin-wait backoff tuned for oversubscribed cores.
+//
+// Coordination in this system is a cross-thread round trip: the requester
+// spins until the remote thread reaches a safe point. When threads outnumber
+// cores (our container exposes a single core), pure spinning turns every
+// round trip into a full scheduling quantum. Backoff therefore escalates
+// quickly from pause instructions to std::this_thread::yield(), which is what
+// keeps the "explicit coordination costs a round trip, not a quantum"
+// property of the paper intact.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace ht {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  // spins_before_yield: how many pause-loop rounds before ceding the CPU.
+  // The default is small: when the waited-on thread shares the core (our
+  // container exposes one), spinning delays the very response being waited
+  // for.
+  explicit Backoff(int spins_before_yield = 2)
+      : limit_(spins_before_yield) {}
+
+  void pause() {
+    if (count_ < limit_) {
+      for (int i = 0; i < (1 << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { count_ = 0; }
+
+  // True once the backoff has escalated to yielding.
+  bool yielding() const { return count_ >= limit_; }
+
+ private:
+  int count_ = 0;
+  int limit_;
+};
+
+}  // namespace ht

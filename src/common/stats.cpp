@@ -1,0 +1,98 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace ht {
+
+double RunStats::median() const {
+  HT_ASSERT(!samples_.empty(), "median of empty sample set");
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  const std::size_t n = s.size();
+  return (n % 2 == 1) ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+}
+
+double RunStats::mean() const {
+  HT_ASSERT(!samples_.empty(), "mean of empty sample set");
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double RunStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0;
+  for (double v : samples_) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double RunStats::min() const {
+  HT_ASSERT(!samples_.empty(), "min of empty sample set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunStats::max() const {
+  HT_ASSERT(!samples_.empty(), "max of empty sample set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunStats::ci95_half_width() const {
+  if (samples_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+void Log2Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  std::size_t b = 0;
+  if (value > 0) {
+    b = static_cast<std::size_t>(64 - __builtin_clzll(value));  // floor(log2)+1
+    if (b >= buckets_.size()) b = buckets_.size() - 1;
+  }
+  buckets_[b] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Log2Histogram::bucket_floor(std::size_t i) {
+  if (i == 0) return 0;
+  return 1ULL << (i - 1);
+}
+
+std::uint64_t Log2Histogram::cumulative_le(std::uint64_t x) const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (bucket_floor(i) > x) break;
+    sum += buckets_[i];
+  }
+  return sum;
+}
+
+double geomean_overhead(const std::vector<double>& overheads) {
+  HT_ASSERT(!overheads.empty(), "geomean of empty vector");
+  double log_sum = 0;
+  for (double o : overheads) {
+    HT_ASSERT(o > -1.0, "overhead ratio must keep 1+o positive");
+    log_sum += std::log(1.0 + o);
+  }
+  return std::exp(log_sum / static_cast<double>(overheads.size())) - 1.0;
+}
+
+std::string format_sci(double v) {
+  if (v == 0) return "0";
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 100 &&
+      v > -100) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  int exp = static_cast<int>(std::floor(std::log10(std::fabs(v))));
+  double mant = v / std::pow(10.0, exp);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1fe%d", mant, exp);
+  return buf;
+}
+
+}  // namespace ht

@@ -1,0 +1,72 @@
+// Trial statistics (median, mean, 95% confidence interval) and log-scale
+// histograms.
+//
+// The paper reports "the median of 20 trial runs; we also show the mean as
+// the center of 95% confidence intervals" (§7.2); RunStats reproduces exactly
+// those three numbers for the figure harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ht {
+
+class RunStats {
+ public:
+  void add(double v) { samples_.push_back(v); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double median() const;
+  double mean() const;
+  double stddev() const;  // sample standard deviation
+  double min() const;
+  double max() const;
+
+  // Half-width of the 95% confidence interval for the mean
+  // (normal approximation; the paper's intervals are likewise symmetric).
+  double ci95_half_width() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Fixed-bucket histogram over power-of-two ranges [2^k, 2^(k+1)), used by the
+// Fig 6 limit study (per-object conflicting-transition counts span many
+// orders of magnitude, and the paper plots both axes on log scales).
+class Log2Histogram {
+ public:
+  explicit Log2Histogram(int max_bucket = 40) : buckets_(max_bucket + 1, 0) {}
+
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total_weight() const { return total_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  // Lower bound of bucket i (0 -> 0, 1 -> 1, 2 -> 2, 3 -> 4, ...).
+  static std::uint64_t bucket_floor(std::size_t i);
+
+  // Cumulative weight of values <= x.
+  std::uint64_t cumulative_le(std::uint64_t x) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+// Geometric mean of (1 + overhead) ratios, reported as an overhead, matching
+// the paper's "geomean" bars. Values are overhead fractions (0.28 == 28%).
+double geomean_overhead(const std::vector<double>& overheads);
+
+// Formats a count like the paper's Table 2 ("1.2x10^10" style): mantissa with
+// one decimal digit and a power-of-ten exponent; exact small values print
+// plainly.
+std::string format_sci(double v);
+
+}  // namespace ht

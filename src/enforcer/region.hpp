@@ -1,0 +1,52 @@
+// Undo logging for statically-bounded region serializability (paper §5).
+//
+// The paper's enforcer transforms regions at compile time so they can restart
+// after responding to a coordination request mid-region. Our substrate uses
+// speculation with an undo log instead (the equivalent EnfoRSer mechanism):
+// every tracked store inside a region records the old value, and if the
+// region must restart, the log is replayed backwards *before* the thread
+// relinquishes any object state — at that moment the thread still owns every
+// written object, so the rollback stores cannot race.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ht {
+
+class UndoLog {
+ public:
+  // Restore function: writes `old_bits` back through `addr`.
+  using RestoreFn = void (*)(void* addr, std::uint64_t old_bits);
+
+  struct Entry {
+    void* addr;
+    std::uint64_t old_bits;
+    RestoreFn restore;
+  };
+
+  void push(void* addr, std::uint64_t old_bits, RestoreFn restore) {
+    entries_.push_back(Entry{addr, old_bits, restore});
+  }
+
+  // Roll back in reverse order (later writes to the same location must be
+  // undone first so the earliest old value wins).
+  void rollback() {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      it->restore(it->addr, it->old_bits);
+    }
+    entries_.clear();
+  }
+
+  void commit() { entries_.clear(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ht

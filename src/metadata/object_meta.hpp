@@ -1,0 +1,57 @@
+// Per-object tracking metadata: the two header words the paper adds to every
+// object (§7.1) — a last-access state word and an adaptive-policy profile
+// word — plus atomic state helpers shared by all trackers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "metadata/profile_word.hpp"
+#include "metadata/state_word.hpp"
+
+namespace ht {
+
+class ObjectMeta {
+ public:
+  ObjectMeta() : state_(0) {}
+  ObjectMeta(const ObjectMeta&) = delete;
+  ObjectMeta& operator=(const ObjectMeta&) = delete;
+
+  // (Re)initialize; every tracker allocates objects in WrEx<alloc thread>
+  // of its flavor ("Each object newly allocated by thread T starts in the
+  // WrExOpt_T state", §6.2 — pessimistic/standalone trackers use their own
+  // initial kind).
+  void reset(StateWord initial) {
+    state_.store(initial.raw(), std::memory_order_relaxed);
+    profile_.reset();
+  }
+
+  StateWord load_state(std::memory_order mo = std::memory_order_acquire) const {
+    return StateWord(state_.load(mo));
+  }
+
+  bool cas_state(StateWord& expected, StateWord desired,
+                 std::memory_order success = std::memory_order_acq_rel) {
+    std::uint64_t exp = expected.raw();
+    bool ok = state_.compare_exchange_strong(exp, desired.raw(), success,
+                                             std::memory_order_acquire);
+    if (!ok) expected = StateWord(exp);
+    return ok;
+  }
+
+  // Plain store — only legal when the calling thread has exclusive rights to
+  // change the state (owns the Int state, or is unlocking its own lock).
+  void store_state(StateWord s,
+                   std::memory_order mo = std::memory_order_release) {
+    state_.store(s.raw(), mo);
+  }
+
+  AtomicProfile& profile() { return profile_; }
+  const AtomicProfile& profile() const { return profile_; }
+
+ private:
+  std::atomic<std::uint64_t> state_;
+  AtomicProfile profile_;
+};
+
+}  // namespace ht

@@ -1,0 +1,119 @@
+// Per-object adaptive-policy profile word (paper §6.2, §7.1: "another
+// [32-bit word] for the adaptive policy's profile information" — we use 64
+// bits and keep richer counters).
+//
+//   bits  0..15  optConflicts   optimistic conflicting transitions using
+//                               explicit coordination (the policy ignores
+//                               implicit coordination, §6.2 footnote 7)
+//   bits 16..39  pessNonConfl   non-conflicting pessimistic transitions
+//   bits 40..55  pessConfl      conflicting pessimistic transitions
+//   bit  56      wasPess        object has been pessimistic at least once
+//   bit  57      mustStayOpt    object returned to optimistic and is barred
+//                               from further Opt->Pess trips (§6.2 "Checks
+//                               and balances")
+//   bits 58..63  contended      saturating count of contended pessimistic
+//                               transitions (drives the §7.5 "contended
+//                               escape" extension)
+//
+// All counters saturate rather than wrap: a saturated counter keeps the
+// policy decision it has already justified, while a wrapped one would flip
+// it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ht {
+
+class ProfileWord {
+ public:
+  ProfileWord() : bits_(0) {}
+  explicit constexpr ProfileWord(std::uint64_t raw) : bits_(raw) {}
+
+  std::uint32_t opt_conflicts() const {
+    return static_cast<std::uint32_t>(bits_ & 0xFFFF);
+  }
+  std::uint32_t pess_non_confl() const {
+    return static_cast<std::uint32_t>((bits_ >> 16) & 0xFFFFFF);
+  }
+  std::uint32_t pess_confl() const {
+    return static_cast<std::uint32_t>((bits_ >> 40) & 0xFFFF);
+  }
+  bool was_pess() const { return (bits_ >> 56) & 1; }
+  bool must_stay_opt() const { return (bits_ >> 57) & 1; }
+  std::uint32_t contended() const {
+    return static_cast<std::uint32_t>((bits_ >> 58) & 0x3F);
+  }
+
+  ProfileWord with_opt_conflict_inc() const {
+    std::uint32_t v = opt_conflicts();
+    if (v >= 0xFFFF) return *this;
+    return ProfileWord((bits_ & ~0xFFFFULL) | (v + 1));
+  }
+  ProfileWord with_pess_non_confl_inc() const {
+    std::uint32_t v = pess_non_confl();
+    if (v >= 0xFFFFFF) return *this;
+    return ProfileWord((bits_ & ~(0xFFFFFFULL << 16)) |
+                       (static_cast<std::uint64_t>(v + 1) << 16));
+  }
+  ProfileWord with_pess_confl_inc() const {
+    std::uint32_t v = pess_confl();
+    if (v >= 0xFFFF) return *this;
+    return ProfileWord((bits_ & ~(0xFFFFULL << 40)) |
+                       (static_cast<std::uint64_t>(v + 1) << 40));
+  }
+  ProfileWord with_was_pess() const { return ProfileWord(bits_ | (1ULL << 56)); }
+  ProfileWord with_must_stay_opt() const {
+    return ProfileWord(bits_ | (1ULL << 57));
+  }
+  ProfileWord with_contended_inc() const {
+    std::uint32_t v = contended();
+    if (v >= 0x3F) return *this;
+    return ProfileWord((bits_ & ~(0x3FULL << 58)) |
+                       (static_cast<std::uint64_t>(v + 1) << 58));
+  }
+  // Re-arms profiling after a Pess->Opt trip: pessimistic counters restart
+  // so a later Opt->Pess decision (contended-escape variant) profiles afresh.
+  ProfileWord with_pess_counters_cleared() const {
+    return ProfileWord(bits_ & ~((0xFFFFFFULL << 16) | (0xFFFFULL << 40) |
+                                 (0x3FULL << 58)));
+  }
+
+  std::uint64_t raw() const { return bits_; }
+  bool operator==(const ProfileWord& o) const { return bits_ == o.bits_; }
+
+ private:
+  std::uint64_t bits_;
+};
+
+// Atomic holder with a CAS-update helper. Profile updates happen on slow
+// paths (conflicting/pessimistic transitions), so a CAS loop is fine.
+class AtomicProfile {
+ public:
+  AtomicProfile() : word_(0) {}
+
+  ProfileWord load() const {
+    return ProfileWord(word_.load(std::memory_order_relaxed));
+  }
+
+  // Applies fn : ProfileWord -> ProfileWord atomically; returns the new value.
+  template <typename Fn>
+  ProfileWord update(Fn&& fn) {
+    std::uint64_t cur = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      ProfileWord next = fn(ProfileWord(cur));
+      if (next.raw() == cur) return next;  // no-op (saturated)
+      if (word_.compare_exchange_weak(cur, next.raw(),
+                                      std::memory_order_relaxed)) {
+        return next;
+      }
+    }
+  }
+
+  void reset() { word_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> word_;
+};
+
+}  // namespace ht

@@ -1,0 +1,188 @@
+// Per-object last-access state word — the hybrid state model's metadata
+// (paper §3.2, Table 3).
+//
+// The paper's prototype packs state into one 32-bit header word and, for lack
+// of bit patterns, omits the WrExRLock state (§7.1 "Extraneous contention").
+// We use a 64-bit word, which fits the complete model:
+//
+//   bits  0..3   kind      one of the 12 StateKind values
+//   bits  4..15  tid       owner / requester thread (exclusive, Int states)
+//   bits 16..47  c         global read-share counter value (RdSh* states)
+//   bits 48..59  n         read-lock holder count (RdShRLock)
+//
+// Kinds (paper state -> StateKind):
+//   optimistic          WrExOpt_T  RdExOpt_T  RdShOpt_c
+//   pessimistic         WrExPess_T RdExPess_T RdShPess_c        (unlocked)
+//                       WrExWLock_T WrExRLock_T RdExRLock_T
+//                       RdShRLock(n)_c                          (locked)
+//   intermediate        Int_T        (optimistic coordination, Fig 1 line 8)
+//   kPessLockedSentinel  the standalone pessimistic tracker's LOCKED value
+//                        (§2.1 pseudocode); unused by the hybrid model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace ht {
+
+using ThreadId = std::uint32_t;
+inline constexpr ThreadId kMaxThreads = 1u << 12;  // 12 tid bits
+inline constexpr ThreadId kNoThread = kMaxThreads - 1;
+
+enum class StateKind : std::uint8_t {
+  kWrExOpt = 0,
+  kRdExOpt = 1,
+  kRdShOpt = 2,
+  kWrExPess = 3,   // unlocked
+  kRdExPess = 4,   // unlocked
+  kRdShPess = 5,   // unlocked
+  kWrExWLock = 6,  // write-locked, write-exclusive
+  kWrExRLock = 7,  // read-locked, write-exclusive (full model only)
+  kRdExRLock = 8,  // read-locked, read-exclusive
+  kRdShRLock = 9,  // read-locked by n threads, read-shared
+  kInt = 10,       // intermediate (requester owns coordination)
+  kPessLockedSentinel = 11,
+};
+
+const char* state_kind_name(StateKind k);
+
+class StateWord {
+ public:
+  StateWord() : bits_(0) {}  // == WrExOpt with tid 0; use factories instead
+  explicit constexpr StateWord(std::uint64_t raw) : bits_(raw) {}
+
+  // --- factories -----------------------------------------------------------
+  static StateWord wr_ex_opt(ThreadId t) { return make(StateKind::kWrExOpt, t); }
+  static StateWord rd_ex_opt(ThreadId t) { return make(StateKind::kRdExOpt, t); }
+  static StateWord rd_sh_opt(std::uint32_t c) {
+    return make_rdsh(StateKind::kRdShOpt, c, 0);
+  }
+  static StateWord wr_ex_pess(ThreadId t) { return make(StateKind::kWrExPess, t); }
+  static StateWord rd_ex_pess(ThreadId t) { return make(StateKind::kRdExPess, t); }
+  static StateWord rd_sh_pess(std::uint32_t c) {
+    return make_rdsh(StateKind::kRdShPess, c, 0);
+  }
+  static StateWord wr_ex_wlock(ThreadId t) {
+    return make(StateKind::kWrExWLock, t);
+  }
+  static StateWord wr_ex_rlock(ThreadId t) {
+    return make(StateKind::kWrExRLock, t);
+  }
+  static StateWord rd_ex_rlock(ThreadId t) {
+    return make(StateKind::kRdExRLock, t);
+  }
+  static StateWord rd_sh_rlock(std::uint32_t c, std::uint32_t n) {
+    HT_DASSERT(n >= 1 && n < (1u << 12), "read-lock count out of range");
+    return make_rdsh(StateKind::kRdShRLock, c, n);
+  }
+  static StateWord intermediate(ThreadId t) { return make(StateKind::kInt, t); }
+  static StateWord pess_locked_sentinel(ThreadId t) {
+    return make(StateKind::kPessLockedSentinel, t);
+  }
+
+  // --- accessors -----------------------------------------------------------
+  StateKind kind() const { return static_cast<StateKind>(bits_ & 0xF); }
+  ThreadId tid() const {
+    return static_cast<ThreadId>((bits_ >> 4) & 0xFFF);
+  }
+  std::uint32_t counter() const {
+    return static_cast<std::uint32_t>((bits_ >> 16) & 0xFFFFFFFFULL);
+  }
+  std::uint32_t rdlock_count() const {
+    return static_cast<std::uint32_t>((bits_ >> 48) & 0xFFF);
+  }
+  std::uint64_t raw() const { return bits_; }
+
+  // --- predicates (paper terminology, §3.2) --------------------------------
+  bool is_optimistic() const {
+    return kind() == StateKind::kWrExOpt || kind() == StateKind::kRdExOpt ||
+           kind() == StateKind::kRdShOpt;
+  }
+  bool is_pess_unlocked() const {
+    return kind() == StateKind::kWrExPess || kind() == StateKind::kRdExPess ||
+           kind() == StateKind::kRdShPess;
+  }
+  bool is_pess_locked() const {
+    return kind() == StateKind::kWrExWLock || kind() == StateKind::kWrExRLock ||
+           kind() == StateKind::kRdExRLock || kind() == StateKind::kRdShRLock;
+  }
+  bool is_pessimistic() const { return is_pess_unlocked() || is_pess_locked(); }
+  bool is_intermediate() const { return kind() == StateKind::kInt; }
+  bool is_rd_sh() const {
+    return kind() == StateKind::kRdShOpt || kind() == StateKind::kRdShPess ||
+           kind() == StateKind::kRdShRLock;
+  }
+  bool is_wr_ex() const {
+    return kind() == StateKind::kWrExOpt || kind() == StateKind::kWrExPess ||
+           kind() == StateKind::kWrExWLock || kind() == StateKind::kWrExRLock;
+  }
+  bool is_rd_ex() const {
+    return kind() == StateKind::kRdExOpt || kind() == StateKind::kRdExPess ||
+           kind() == StateKind::kRdExRLock;
+  }
+  // States that carry an owner tid (exclusive + Int + sentinel).
+  bool has_owner() const { return !is_rd_sh(); }
+
+  // True if a *read* by `t` is already permitted without any state change
+  // (same-state transition, Table 1 row 1-3 / Table 3 "reentrant" rows;
+  // RdSh additionally requires the caller to have seen counter c — checked
+  // by the tracker, not here).
+  bool permits_read_by(ThreadId t) const {
+    if (is_rd_sh()) return true;
+    return tid() == t && !is_intermediate();
+  }
+
+  bool operator==(const StateWord& o) const { return bits_ == o.bits_; }
+  bool operator!=(const StateWord& o) const { return bits_ != o.bits_; }
+
+  std::string to_string() const;
+
+ private:
+  static StateWord make(StateKind k, ThreadId t) {
+    HT_DASSERT(t < kMaxThreads, "thread id out of range");
+    return StateWord(static_cast<std::uint64_t>(k) |
+                     (static_cast<std::uint64_t>(t) << 4));
+  }
+  static StateWord make_rdsh(StateKind k, std::uint32_t c, std::uint32_t n) {
+    return StateWord(static_cast<std::uint64_t>(k) |
+                     (static_cast<std::uint64_t>(c) << 16) |
+                     (static_cast<std::uint64_t>(n) << 48));
+  }
+
+  std::uint64_t bits_;
+};
+
+inline const char* state_kind_name(StateKind k) {
+  switch (k) {
+    case StateKind::kWrExOpt: return "WrExOpt";
+    case StateKind::kRdExOpt: return "RdExOpt";
+    case StateKind::kRdShOpt: return "RdShOpt";
+    case StateKind::kWrExPess: return "WrExPess";
+    case StateKind::kRdExPess: return "RdExPess";
+    case StateKind::kRdShPess: return "RdShPess";
+    case StateKind::kWrExWLock: return "WrExWLock";
+    case StateKind::kWrExRLock: return "WrExRLock";
+    case StateKind::kRdExRLock: return "RdExRLock";
+    case StateKind::kRdShRLock: return "RdShRLock";
+    case StateKind::kInt: return "Int";
+    case StateKind::kPessLockedSentinel: return "PessLocked";
+  }
+  return "?";
+}
+
+inline std::string StateWord::to_string() const {
+  std::string s = state_kind_name(kind());
+  if (is_rd_sh()) {
+    s += "(c=" + std::to_string(counter());
+    if (kind() == StateKind::kRdShRLock)
+      s += ",n=" + std::to_string(rdlock_count());
+    s += ")";
+  } else {
+    s += "(T" + std::to_string(tid()) + ")";
+  }
+  return s;
+}
+
+}  // namespace ht

@@ -1,0 +1,36 @@
+#include "recorder/dependence_log.hpp"
+
+#include <cstdio>
+
+namespace ht {
+
+std::size_t ThreadLog::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& e : events) n += e.type == LogEventType::kEdge ? 1 : 0;
+  return n;
+}
+
+std::size_t ThreadLog::response_count() const {
+  return events.size() - edge_count();
+}
+
+std::size_t Recording::total_edges() const {
+  std::size_t n = 0;
+  for (const auto& t : threads) n += t.edge_count();
+  return n;
+}
+
+std::size_t Recording::total_responses() const {
+  std::size_t n = 0;
+  for (const auto& t : threads) n += t.response_count();
+  return n;
+}
+
+std::string Recording::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%zu threads, %zu HB edges, %zu responses",
+                threads.size(), total_edges(), total_responses());
+  return buf;
+}
+
+}  // namespace ht

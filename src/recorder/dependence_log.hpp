@@ -1,0 +1,54 @@
+// Per-thread dependence logs for multithreaded record & replay (paper §4).
+//
+// The recorder logs two kinds of events, both keyed by the thread's
+// deterministic instrumentation-point index:
+//
+//   kEdge      — this thread's access at `point` must happen after thread
+//                `src`'s release counter reaches `value` (a happens-before
+//                edge; conservative fan-outs appear as one kEdge per thread);
+//   kResponse  — this thread performed a release-counter bump at `point`
+//                that does not correspond to a deterministic program event
+//                (an explicit coordination response or a blocking entry);
+//                the replayer re-issues the bump at the same point.
+//
+// Deterministic bumps (PSROs, thread exit) are not logged: the replayer
+// performs them at the same program points by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metadata/state_word.hpp"
+
+namespace ht {
+
+enum class LogEventType : std::uint8_t { kEdge, kResponse };
+
+struct LogEvent {
+  std::uint64_t point;
+  LogEventType type;
+  ThreadId src;         // kEdge only
+  std::uint64_t value;  // kEdge only: required src release-counter value
+
+  bool operator==(const LogEvent&) const = default;
+};
+
+struct ThreadLog {
+  std::vector<LogEvent> events;
+
+  std::size_t edge_count() const;
+  std::size_t response_count() const;
+};
+
+// A complete recording: one log per thread plus the thread count, which the
+// replayer needs to spawn the same thread structure.
+struct Recording {
+  std::vector<ThreadLog> threads;
+
+  std::size_t total_edges() const;
+  std::size_t total_responses() const;
+  std::string summary() const;
+};
+
+}  // namespace ht

@@ -1,0 +1,72 @@
+// The dependence recorder (paper §4): a sink that trackers feed happens-
+// before edges into, plus the response-logging hook for nondeterministic
+// release-counter bumps.
+//
+// Composing it with OptimisticTracker gives the paper's optimistic recorder
+// (§4.1, prior work [10]); composing with HybridTracker gives the hybrid
+// recorder (§4.2). Either way the same dependences are captured — the hybrid
+// recorder merely captures pessimistic-transition edges from release
+// counters instead of coordination round trips.
+#pragma once
+
+#include <atomic>
+
+#include "recorder/dependence_log.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/thread_context.hpp"
+
+namespace ht {
+
+class DependenceRecorder {
+ public:
+  static constexpr bool kActive = true;
+
+  explicit DependenceRecorder(Runtime& rt)
+      : runtime_(&rt), logs_(rt.registry().max_threads()) {}
+
+  // --- sink interface (called by trackers) ------------------------------------
+  void edge(ThreadContext& ctx, ThreadId src, std::uint64_t value) {
+    logs_[ctx.id].events.push_back(
+        LogEvent{ctx.point_index, LogEventType::kEdge, src, value});
+  }
+
+  // Conservative fan-out: one edge per other registered thread at its
+  // current release counter (see HybridTracker's edge discipline note).
+  void edge_all_others(ThreadContext& ctx, Runtime& rt) {
+    const ThreadId n = rt.registry().high_water();
+    for (ThreadId t = 0; t < n; ++t) {
+      if (t == ctx.id) continue;
+      const auto& o = rt.registry().context(t);
+      edge(ctx, t,
+           o.owner_side.release_counter.load(std::memory_order_acquire));
+    }
+  }
+
+  // --- thread hook --------------------------------------------------------------
+  // Install after the tracker's attach_thread; logs each nondeterministic
+  // release-counter bump so replay can reproduce it.
+  void attach_thread(ThreadContext& ctx) {
+    ctx.resp_log_self = this;
+    ctx.resp_log_fn = [](void* self, ThreadContext& c) {
+      static_cast<DependenceRecorder*>(self)->logs_[c.id].events.push_back(
+          LogEvent{c.point_index, LogEventType::kResponse, kNoThread, 0});
+    };
+  }
+
+  // --- results -------------------------------------------------------------------
+  // Takes the recording (call after all recorded threads joined).
+  Recording take_recording(ThreadId thread_count) {
+    Recording r;
+    r.threads.assign(logs_.begin(), logs_.begin() + thread_count);
+    for (auto& l : logs_) l.events.clear();
+    return r;
+  }
+
+  const ThreadLog& log(ThreadId t) const { return logs_[t]; }
+
+ private:
+  Runtime* runtime_;
+  std::vector<ThreadLog> logs_;
+};
+
+}  // namespace ht

@@ -1,0 +1,93 @@
+#include "recorder/recording_analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace ht {
+
+RecordingAnalysis analyze_recording(const Recording& recording) {
+  RecordingAnalysis a;
+  a.threads = recording.threads.size();
+  a.edges_out.assign(a.threads, 0);
+  a.edges_in.assign(a.threads, 0);
+
+  std::set<std::pair<ThreadId, std::uint64_t>> wait_points;
+  for (std::size_t t = 0; t < recording.threads.size(); ++t) {
+    for (const LogEvent& e : recording.threads[t].events) {
+      if (e.type == LogEventType::kEdge) {
+        ++a.total_edges;
+        ++a.edges_out[t];
+        if (e.src < a.threads) ++a.edges_in[e.src];
+        wait_points.insert({static_cast<ThreadId>(t), e.point});
+      } else {
+        ++a.total_responses;
+      }
+    }
+  }
+  a.distinct_wait_points = wait_points.size();
+  return a;
+}
+
+std::string RecordingAnalysis::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%zu threads, %zu edges (%zu distinct wait points), "
+                "%zu responses%s",
+                threads, total_edges, distinct_wait_points, total_responses,
+                fully_parallel() ? " [fully parallel]" : "");
+  return buf;
+}
+
+std::string recording_to_dot(const Recording& recording,
+                             std::size_t max_edges) {
+  std::ostringstream out;
+  out << "digraph happens_before {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=box, fontsize=9];\n";
+
+  // Collect the points participating in edges, per thread, so timelines only
+  // show interesting nodes.
+  std::vector<std::set<std::uint64_t>> points(recording.threads.size());
+  std::size_t edges_emitted = 0;
+  std::ostringstream edges;
+  for (std::size_t t = 0; t < recording.threads.size(); ++t) {
+    for (const LogEvent& e : recording.threads[t].events) {
+      if (e.type != LogEventType::kEdge) continue;
+      if (edges_emitted >= max_edges) break;
+      ++edges_emitted;
+      points[t].insert(e.point);
+      edges << "  \"T" << e.src << "@r" << e.value << "\" -> \"T" << t << "@p"
+            << e.point << "\" [color=red];\n";
+      // Source node: the src thread's release-counter milestone.
+      out << "  \"T" << e.src << "@r" << e.value << "\" [label=\"T" << e.src
+          << " rel>=" << e.value << "\", style=dashed];\n";
+    }
+  }
+
+  // Per-thread timelines (program order) over the sink points.
+  for (std::size_t t = 0; t < points.size(); ++t) {
+    std::uint64_t prev = 0;
+    bool has_prev = false;
+    for (std::uint64_t p : points[t]) {
+      out << "  \"T" << t << "@p" << p << "\" [label=\"T" << t << " point "
+          << p << "\"];\n";
+      if (has_prev) {
+        out << "  \"T" << t << "@p" << prev << "\" -> \"T" << t << "@p" << p
+            << "\" [style=bold];\n";
+      }
+      prev = p;
+      has_prev = true;
+    }
+  }
+
+  out << edges.str();
+  if (edges_emitted >= max_edges) {
+    out << "  // truncated at " << max_edges << " edges\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ht

@@ -1,0 +1,45 @@
+// Recording analysis: structural statistics and Graphviz export of the
+// recorded happens-before graph.
+//
+// Analysis answers the questions the paper's §7.6 raises — how many
+// dependences were recorded, how they distribute over threads, how much
+// cross-thread ordering constrains replay parallelism — and `to_dot` renders
+// the HB graph for inspection (per-thread timelines with cross-thread edges
+// at the recorded release-counter values).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recorder/dependence_log.hpp"
+
+namespace ht {
+
+struct RecordingAnalysis {
+  std::size_t threads = 0;
+  std::size_t total_edges = 0;
+  std::size_t total_responses = 0;
+  std::vector<std::size_t> edges_out;  // edges whose sink is thread i
+  std::vector<std::size_t> edges_in;   // edges whose source is thread i
+  // Replay-parallelism proxy: a sink thread with many distinct source
+  // values must serialize against its sources that many times.
+  std::size_t distinct_wait_points = 0;
+  // Degenerate recordings (no cross-thread ordering at all) replay with
+  // full parallelism.
+  bool fully_parallel() const { return total_edges == 0; }
+
+  std::string summary() const;
+};
+
+RecordingAnalysis analyze_recording(const Recording& recording);
+
+// Renders the happens-before graph in Graphviz DOT: one horizontal chain of
+// nodes per thread (its instrumentation points that participate in edges),
+// with cross-thread edges drawn from (src thread, release value) to
+// (sink thread, point). Output is truncated to `max_edges` edges so large
+// recordings stay viewable.
+std::string recording_to_dot(const Recording& recording,
+                             std::size_t max_edges = 500);
+
+}  // namespace ht

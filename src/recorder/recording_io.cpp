@@ -1,0 +1,135 @@
+#include "recorder/recording_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace ht {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'T', 'R', 'C'};
+
+class Fnv1a {
+ public:
+  void feed(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+    hash_.feed(&v, sizeof v);
+  }
+
+  std::uint64_t checksum() const { return hash_.value(); }
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ostream& out_;
+  Fnv1a hash_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  bool get(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!in_.good()) return false;
+    hash_.feed(&v, sizeof v);
+    return true;
+  }
+
+  std::uint64_t checksum() const { return hash_.value(); }
+
+ private:
+  std::istream& in_;
+  Fnv1a hash_;
+};
+
+}  // namespace
+
+bool save_recording(const Recording& recording, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, sizeof kMagic);
+
+  Writer w(out);
+  w.put(kRecordingFormatVersion);
+  w.put(static_cast<std::uint32_t>(recording.threads.size()));
+  for (const ThreadLog& log : recording.threads) {
+    w.put(static_cast<std::uint64_t>(log.events.size()));
+    for (const LogEvent& e : log.events) {
+      w.put(e.point);
+      w.put(static_cast<std::uint8_t>(e.type));
+      w.put(static_cast<std::uint32_t>(e.src));
+      w.put(e.value);
+    }
+  }
+  const std::uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  out.flush();
+  return out.good();
+}
+
+std::optional<Recording> load_recording(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return std::nullopt;
+  }
+
+  Reader r(in);
+  std::uint32_t version = 0, threads = 0;
+  if (!r.get(version) || version != kRecordingFormatVersion) return std::nullopt;
+  if (!r.get(threads) || threads > kMaxThreads) return std::nullopt;
+
+  Recording rec;
+  rec.threads.resize(threads);
+  for (ThreadLog& log : rec.threads) {
+    std::uint64_t count = 0;
+    if (!r.get(count)) return std::nullopt;
+    // Sanity cap: a corrupt count must not trigger a giant allocation.
+    if (count > (1ULL << 32)) return std::nullopt;
+    log.events.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t point = 0, value = 0;
+      std::uint8_t type = 0;
+      std::uint32_t src = 0;
+      if (!r.get(point) || !r.get(type) || !r.get(src) || !r.get(value)) {
+        return std::nullopt;
+      }
+      if (type > static_cast<std::uint8_t>(LogEventType::kResponse)) {
+        return std::nullopt;
+      }
+      log.events.push_back(LogEvent{point, static_cast<LogEventType>(type),
+                                    static_cast<ThreadId>(src), value});
+    }
+  }
+  const std::uint64_t computed = r.checksum();
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  if (!in.good() || stored != computed) return std::nullopt;
+  return rec;
+}
+
+}  // namespace ht

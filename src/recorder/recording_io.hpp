@@ -1,0 +1,31 @@
+// Recording persistence: a record & replay system is only useful if the
+// recording survives the recording process (offline replay, replication-
+// based fault tolerance — the §4.1 use cases), so recordings serialize to a
+// simple versioned binary format:
+//
+//   magic "HTRC" | version u32 | thread_count u32
+//   per thread:  event_count u64 | events (point u64, type u8, src u32,
+//                                          value u64)
+//   trailer:     FNV-1a checksum u64 over everything after the magic
+//
+// Integers are little-endian (the format is host-order; a checksum mismatch
+// or bad magic fails the load rather than corrupting a replay).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "recorder/dependence_log.hpp"
+
+namespace ht {
+
+inline constexpr std::uint32_t kRecordingFormatVersion = 1;
+
+// Writes `recording` to `path`; returns false on I/O failure.
+bool save_recording(const Recording& recording, const std::string& path);
+
+// Loads a recording; returns std::nullopt on I/O failure, bad magic,
+// version mismatch, truncation, or checksum mismatch.
+std::optional<Recording> load_recording(const std::string& path);
+
+}  // namespace ht

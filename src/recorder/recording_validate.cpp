@@ -1,0 +1,49 @@
+#include "recorder/recording_validate.hpp"
+
+#include <sstream>
+
+namespace ht {
+
+std::string ValidationResult::to_string() const {
+  if (ok()) return "recording OK";
+  std::ostringstream out;
+  out << issues.size() << " issue(s):";
+  for (const ValidationIssue& i : issues) {
+    out << "\n  T" << i.thread << " event " << i.event << ": " << i.message;
+  }
+  return out.str();
+}
+
+ValidationResult validate_recording(const Recording& recording) {
+  ValidationResult r;
+  const std::size_t n = recording.threads.size();
+  if (n == 0) {
+    r.issues.push_back({0, 0, "recording has no threads"});
+    return r;
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto& events = recording.threads[t].events;
+    std::uint64_t last_point = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const LogEvent& e = events[i];
+      if (e.point < last_point) {
+        r.issues.push_back(
+            {static_cast<ThreadId>(t), i,
+             "event point decreases (log not in program order)"});
+      }
+      last_point = e.point;
+      if (e.type == LogEventType::kEdge) {
+        if (e.src >= n) {
+          r.issues.push_back({static_cast<ThreadId>(t), i,
+                              "edge source thread out of range"});
+        } else if (e.src == t) {
+          r.issues.push_back({static_cast<ThreadId>(t), i,
+                              "self-edge would deadlock replay"});
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace ht

@@ -1,0 +1,39 @@
+// Recording validation: structural well-formedness checks run before a
+// recording is replayed (or after it is loaded from disk). A malformed
+// recording — out-of-range source threads, non-monotone point indices,
+// edge values no source can ever reach — would make the replayer hang or
+// misorder accesses; validation turns that into a diagnosable error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "recorder/dependence_log.hpp"
+
+namespace ht {
+
+struct ValidationIssue {
+  ThreadId thread;       // log the issue was found in
+  std::size_t event;     // index into that log
+  std::string message;
+};
+
+struct ValidationResult {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  std::string to_string() const;
+};
+
+// Checks:
+//   * the recording has at least one thread;
+//   * every edge's source thread id is < thread count and != the sink
+//     (a self-edge would deadlock the replayer on itself);
+//   * per-thread event points are non-decreasing (logs are appended in
+//     program order, so a decreasing point means corruption — the replay
+//     cursor would skip the out-of-order events).
+// Reachability of edge values cannot be decided from the recording alone
+// (deterministic PSRO bumps depend on the program), so it is not checked.
+ValidationResult validate_recording(const Recording& recording);
+
+}  // namespace ht

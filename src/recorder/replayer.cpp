@@ -1,0 +1,25 @@
+#include "recorder/replayer.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace ht {
+
+Replayer::Replayer(const Recording& recording) {
+  threads_.reserve(recording.threads.size());
+  for (const ThreadLog& log : recording.threads) {
+    auto pt = std::make_unique<PerThread>();
+    pt->events = &log.events;
+    threads_.push_back(std::move(pt));
+  }
+  HT_ASSERT(!threads_.empty(), "replaying an empty recording");
+}
+
+std::uint64_t Replayer::blocking_waits() const {
+  std::uint64_t n = 0;
+  for (const auto& t : threads_) n += t->blocking_waits;
+  return n;
+}
+
+}  // namespace ht

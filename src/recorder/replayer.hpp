@@ -1,0 +1,102 @@
+// Deterministic replayer (paper §4): re-executes the recorded program with
+// no tracking at all, enforcing each recorded happens-before edge by making
+// the sink wait for its source thread's release counter to reach the
+// recorded value.
+//
+// Per-thread replay state mirrors the recorder's deterministic counters: the
+// point index advances at the same instrumentation points (tracked accesses,
+// poll sites, lock operations), release counters bump at PSROs and thread
+// exits (deterministic) and at logged kResponse events (nondeterministic
+// bumps reproduced from the log). Program synchronization is elided — "the
+// replayer elides program synchronization operations and replays only the
+// recorded dependences" (§7.6) — which is why replay can outrun the baseline
+// for lock-heavy programs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cache_line.hpp"
+#include "common/spin.hpp"
+#include "recorder/dependence_log.hpp"
+
+namespace ht {
+
+class Replayer {
+ public:
+  explicit Replayer(const Recording& recording);
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+  // Advance thread `self` past one instrumentation point: bump the point
+  // index, replay any logged bumps at that point, and block on any logged
+  // edges. Call before the raw program access / at each poll or lock site.
+  void at_point(ThreadId self) {
+    PerThread& me = *threads_[self];
+    ++me.point_index;
+    apply_events(me);
+  }
+
+  // PSRO site: an instrumentation point plus a deterministic release bump.
+  void at_psro(ThreadId self) {
+    PerThread& me = *threads_[self];
+    ++me.point_index;
+    apply_events(me);
+    me.release_counter.fetch_add(1, std::memory_order_release);
+  }
+
+  // Mirrors the recorder-side unregister bump.
+  void at_thread_end(ThreadId self) {
+    threads_[self]->release_counter.fetch_add(1, std::memory_order_release);
+  }
+
+  std::uint64_t release_counter(ThreadId t) const {
+    return threads_[t]->release_counter.load(std::memory_order_acquire);
+  }
+
+  // Total edge waits that actually had to spin (replay-cost diagnostics).
+  std::uint64_t blocking_waits() const;
+
+ private:
+  struct alignas(kCacheLine) PerThread {
+    const std::vector<LogEvent>* events = nullptr;
+    std::size_t cursor = 0;
+    std::uint64_t point_index = 0;
+    std::atomic<std::uint64_t> release_counter{0};
+    std::uint64_t blocking_waits = 0;
+  };
+
+  // Applies every logged event up to and including the current point.
+  // Events can carry indices *smaller* than any instrumentation point the
+  // replayer visits (e.g. the blocking-entry bump a thread logs at a driver
+  // barrier before its first access, at point 0); applying them at the next
+  // visited point keeps them ordered before the same accesses they preceded
+  // during recording.
+  void apply_events(PerThread& me) {
+    const auto& evs = *me.events;
+    while (me.cursor < evs.size() && evs[me.cursor].point <= me.point_index) {
+      const LogEvent& e = evs[me.cursor];
+      if (e.type == LogEventType::kResponse) {
+        me.release_counter.fetch_add(1, std::memory_order_release);
+      } else {
+        wait_for(me, e.src, e.value);
+      }
+      ++me.cursor;
+    }
+  }
+
+  void wait_for(PerThread& me, ThreadId src, std::uint64_t value) {
+    const PerThread& s = *threads_[src];
+    if (s.release_counter.load(std::memory_order_acquire) >= value) return;
+    ++me.blocking_waits;
+    Backoff backoff;
+    while (s.release_counter.load(std::memory_order_acquire) < value) {
+      backoff.pause();
+    }
+  }
+
+  std::vector<std::unique_ptr<PerThread>> threads_;
+};
+
+}  // namespace ht

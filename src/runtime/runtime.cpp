@@ -1,0 +1,156 @@
+#include "runtime/runtime.hpp"
+
+#include "common/spin.hpp"
+
+namespace ht {
+
+Runtime::Runtime(RuntimeConfig cfg) : registry_(cfg.max_threads) {}
+
+ThreadContext& Runtime::register_thread() {
+  return registry_.register_thread(this);
+}
+
+void Runtime::unregister_thread(ThreadContext& ctx) {
+  HT_ASSERT(!ctx.in_region, "thread exiting inside an SBRS region");
+  // Thread exit has release semantics: flush held states and bump, so that
+  // other threads' conservative current-counter edges cover this thread's
+  // final accesses. The replayer mirrors this bump at thread end
+  // (deterministic, so it is not logged).
+  ctx.run_flush_hook();
+  ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
+  registry_.mark_exited(ctx);
+  // Answer any stragglers that ticketed before seeing the parked status.
+  const std::uint64_t req =
+      ctx.requester_side.request_tickets.load(std::memory_order_acquire);
+  if (req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed)) {
+    ctx.owner_side.response_watermark.store(req, std::memory_order_release);
+  }
+}
+
+void Runtime::psro(ThreadContext& ctx) {
+  HT_ASSERT(!ctx.in_region, "PSRO inside an SBRS region");
+  ++ctx.point_index;
+  ++ctx.stats.psros;
+  ctx.run_flush_hook();
+  ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
+  // Pending requests are satisfied by the flush we just performed; the PSRO
+  // bump doubles as the responding bump, so no extra increment and no
+  // response log entry (the PSRO bump is deterministic — DESIGN.md §4.4).
+  const std::uint64_t req =
+      ctx.requester_side.request_tickets.load(std::memory_order_acquire);
+  if (req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed)) {
+    ctx.owner_side.response_watermark.store(req, std::memory_order_release);
+    ++ctx.stats.responding_safepoints;
+  }
+}
+
+void Runtime::respond(ThreadContext& ctx) {
+  const std::uint64_t req =
+      ctx.requester_side.request_tickets.load(std::memory_order_acquire);
+  if (req <= ctx.owner_side.response_watermark.load(std::memory_order_relaxed))
+    return;
+  ctx.run_abort_hook();  // enforcer: roll back region writes while still owner
+  ctx.run_flush_hook();  // hybrid: deferred unlocking's buffer flush
+  ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
+  ctx.owner_side.response_watermark.store(req, std::memory_order_release);
+  ++ctx.stats.responding_safepoints;
+  ctx.run_resp_log_hook();  // recorder: nondeterministic bump -> log it
+}
+
+void Runtime::begin_blocking(ThreadContext& ctx) {
+  HT_ASSERT(!ctx.in_region, "blocking operation inside an SBRS region");
+  std::uint64_t s = ctx.owner_side.status.load(std::memory_order_relaxed);
+  HT_ASSERT(!ThreadStatus::is_blocked(s), "begin_blocking while blocked");
+  // Blocking is a responding safe point (§2.2): flush and bump BEFORE
+  // publishing BLOCKED, so implicit coordinators find no held locks and read
+  // a counter value covering all our prior accesses.
+  ctx.run_flush_hook();
+  ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
+  ++ctx.stats.responding_safepoints;
+  ctx.run_resp_log_hook();
+  ctx.owner_side.status.store(s | ThreadStatus::kBlockedBit,
+                              std::memory_order_release);
+  // Stragglers that ticketed before observing BLOCKED: satisfied by the
+  // flush above; just publish the watermark.
+  const std::uint64_t req =
+      ctx.requester_side.request_tickets.load(std::memory_order_acquire);
+  if (req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed)) {
+    ctx.owner_side.response_watermark.store(req, std::memory_order_release);
+  }
+}
+
+void Runtime::end_blocking(ThreadContext& ctx) {
+  // Requesters may be CASing the epoch up concurrently; loop until our
+  // RUNNING transition lands.
+  std::uint64_t s = ctx.owner_side.status.load(std::memory_order_relaxed);
+  for (;;) {
+    HT_DASSERT(ThreadStatus::is_blocked(s), "end_blocking while running");
+    const std::uint64_t running =
+        ThreadStatus::make(ThreadStatus::epoch(s) + 1, /*blocked=*/false);
+    if (ctx.owner_side.status.compare_exchange_weak(
+            s, running, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Wake-up is a responding safe point for requests that arrived while we
+  // were parked but whose senders did not use implicit coordination.
+  if (ctx.requests_pending()) respond(ctx);
+}
+
+Runtime::CoordResult Runtime::coordinate(ThreadContext& self, ThreadId owner) {
+  HT_ASSERT(owner != self.id, "self-coordination");
+  ThreadContext& remote = registry_.context(owner);
+  ++self.stats.coordination_rounds;
+
+  // Fast path: implicit coordination with a blocked owner (§2.2). The CAS on
+  // the epoch proves the owner is parked beyond its flush-and-bump.
+  std::uint64_t st = remote.owner_side.status.load(std::memory_order_acquire);
+  if (ThreadStatus::is_blocked(st)) {
+    if (remote.owner_side.status.compare_exchange_strong(
+            st, ThreadStatus::bump_epoch(st), std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      return {remote.owner_side.release_counter.load(std::memory_order_acquire),
+              /*implicit=*/true};
+    }
+  }
+
+  // Explicit request: take a ticket, wait for the owner's watermark to pass
+  // it. While waiting we are ourselves a safe point (Fig 1 line 18).
+  const std::uint64_t ticket =
+      remote.requester_side.request_tickets.fetch_add(
+          1, std::memory_order_acq_rel) +
+      1;
+  Backoff backoff;
+  for (;;) {
+    if (remote.owner_side.response_watermark.load(std::memory_order_acquire) >=
+        ticket) {
+      return {remote.owner_side.release_counter.load(std::memory_order_acquire),
+              /*implicit=*/false};
+    }
+    st = remote.owner_side.status.load(std::memory_order_acquire);
+    if (ThreadStatus::is_blocked(st) &&
+        remote.owner_side.status.compare_exchange_strong(
+            st, ThreadStatus::bump_epoch(st), std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      // Owner blocked after our ticket; our abandoned ticket is harmless
+      // (the watermark scheme answers it at the owner's next safe point).
+      return {remote.owner_side.release_counter.load(std::memory_order_acquire),
+              /*implicit=*/true};
+    }
+    respond_while_waiting(self);  // may throw RegionRestart
+    backoff.pause();
+  }
+}
+
+bool Runtime::coordinate_all_others(ThreadContext& self) {
+  bool any_explicit = false;
+  const ThreadId n = registry_.high_water();
+  for (ThreadId t = 0; t < n; ++t) {
+    if (t == self.id) continue;
+    if (!coordinate(self, t).implicit) any_explicit = true;
+  }
+  return any_explicit;
+}
+
+}  // namespace ht

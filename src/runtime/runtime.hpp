@@ -1,0 +1,117 @@
+// Runtime substrate: thread registration, safe points, the coordination
+// protocol, and the global read-share counter.
+//
+// This is the C++ stand-in for the managed-VM services the paper piggybacks
+// on (§7.1): safe points at which threads can be asked to participate in
+// coordination, blocking safe points enabling implicit coordination, and
+// program-synchronization release operations (PSROs) at which the hybrid
+// model's deferred unlocking flushes the lock buffer.
+//
+// Release-counter discipline (recorder soundness, DESIGN.md §4.4): a thread
+// bumps its release counter
+//   (1) at every PSRO                         — deterministic, not logged,
+//   (2) at every non-PSRO responding safe point (explicit response, blocking
+//       entry, wake-up response)              — logged via the resp-log hook.
+// Bumps are ordered *after* region rollback and lock-buffer flushing and
+// *before* the response watermark / blocked status is published, so any
+// thread that observes the response (or the unlocked state — flushes store
+// states after the bump) reads a counter value that postdates every program
+// access the owner performed before relinquishing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "runtime/thread_context.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace ht {
+
+struct RuntimeConfig {
+  std::size_t max_threads = 64;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig cfg = {});
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- thread lifecycle ------------------------------------------------------
+  // Registers the calling thread. Spawning a thread is itself a PSRO on the
+  // parent side (the paper lists thread fork among PSROs); callers use
+  // psro() before spawn — see workload::run_threads.
+  ThreadContext& register_thread();
+
+  // Final flush + release-counter bump + permanent BLOCKED parking. After
+  // this every implicit coordination with the thread succeeds.
+  void unregister_thread(ThreadContext& ctx);
+
+  ThreadRegistry& registry() { return registry_; }
+  const ThreadRegistry& registry() const { return registry_; }
+
+  // --- global read-share counter (Table 1 note *) ------------------------------
+  // Starts at 1 so that a fresh thread's rd_sh_count (0) is stale for every
+  // RdSh state, forcing the fence transition on first read.
+  std::uint32_t next_rd_sh_counter() {
+    return g_rd_sh_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  std::uint32_t current_rd_sh_counter() const {
+    return g_rd_sh_counter_.load(std::memory_order_acquire);
+  }
+
+  // --- safe points -------------------------------------------------------------
+  // Deterministic poll site (loop back edges in the paper's compiled code).
+  // Bumps the point index; responds to pending requests unless the thread is
+  // inside an SBRS region (two-phase locking, §5.1).
+  void poll(ThreadContext& ctx) {
+    ++ctx.point_index;
+    if (!ctx.in_region && ctx.requests_pending()) respond(ctx);
+  }
+
+  // Safe point inside nondeterministic spin loops (Fig 1 lines 9/18, Fig 10
+  // line 55). Does NOT bump the point index. May throw RegionRestart when an
+  // enforcer region responded (after rolling back).
+  void respond_while_waiting(ThreadContext& ctx) {
+    if (ctx.requests_pending()) {
+      respond(ctx);
+      if (ctx.restart_requested) {
+        ctx.restart_requested = false;
+        throw RegionRestart{};
+      }
+    }
+  }
+
+  // Program-synchronization release operation: flush the lock buffer, bump
+  // the release counter (deterministically), answer pending requests.
+  void psro(ThreadContext& ctx);
+
+  // Blocking safe points (lock acquisition, join, barrier): flush, bump
+  // (logged), park BLOCKED so requesters coordinate implicitly.
+  void begin_blocking(ThreadContext& ctx);
+  void end_blocking(ThreadContext& ctx);
+
+  // --- coordination (requester side) --------------------------------------------
+  struct CoordResult {
+    std::uint64_t src_release;  // owner's release counter after its response
+    bool implicit;              // true if the owner was blocked
+  };
+
+  // One round trip with `owner` (Fig 1 coordinate()). Spins responding to
+  // the caller's own requests; may throw RegionRestart for enforcer regions.
+  CoordResult coordinate(ThreadContext& self, ThreadId owner);
+
+  // Conservative coordination with every other registered thread (RdSh old
+  // states, paper footnote 4). Returns true if any round trip was explicit.
+  bool coordinate_all_others(ThreadContext& self);
+
+ private:
+  // Responding safe point body; precondition: requests pending (or forced).
+  void respond(ThreadContext& ctx);
+
+  ThreadRegistry registry_;
+  std::atomic<std::uint32_t> g_rd_sh_counter_{1};
+};
+
+}  // namespace ht

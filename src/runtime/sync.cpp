@@ -1,0 +1,42 @@
+#include "runtime/sync.hpp"
+
+namespace ht {
+
+void ProgramLock::acquire(ThreadContext& ctx) {
+  // Lock acquisition is an instrumentation point (deterministic per thread).
+  ++ctx.point_index;
+  if (mu_.try_lock()) return;
+  Runtime& rt = *ctx.runtime;
+  rt.begin_blocking(ctx);
+  mu_.lock();
+  rt.end_blocking(ctx);
+}
+
+void ProgramLock::release(ThreadContext& ctx) {
+  ctx.runtime->psro(ctx);  // flush + deterministic release-counter bump
+  mu_.unlock();
+}
+
+ProgramBarrier::ProgramBarrier(int parties) : parties_(parties) {
+  HT_ASSERT(parties >= 1, "barrier needs at least one party");
+}
+
+void ProgramBarrier::arrive_and_wait(ThreadContext& ctx) {
+  Runtime& rt = *ctx.runtime;
+  rt.psro(ctx);  // arrival has release semantics
+  rt.begin_blocking(ctx);
+  {
+    std::unique_lock<std::mutex> g(mu_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(g, [&] { return generation_ != gen; });
+    }
+  }
+  rt.end_blocking(ctx);
+}
+
+}  // namespace ht

@@ -1,0 +1,64 @@
+// Program synchronization primitives visible to workloads.
+//
+// These model the *program's* synchronization (Java monitors in the paper),
+// as opposed to the synchronization the trackers add internally. What matters
+// to the hybrid model is their interaction with deferred unlocking:
+//   * releasing a lock / passing a barrier / forking a thread is a PSRO —
+//     the lock buffer flushes and the release counter bumps (§3.1), and
+//   * blocking while acquiring is a blocking safe point — the thread parks
+//     BLOCKED so that other threads coordinate with it implicitly (§2.2).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "runtime/runtime.hpp"
+#include "runtime/thread_context.hpp"
+
+namespace ht {
+
+class ProgramLock {
+ public:
+  ProgramLock() = default;
+  ProgramLock(const ProgramLock&) = delete;
+  ProgramLock& operator=(const ProgramLock&) = delete;
+
+  void acquire(ThreadContext& ctx);
+  void release(ThreadContext& ctx);
+
+  // RAII critical section.
+  class Scope {
+   public:
+    Scope(ProgramLock& l, ThreadContext& ctx) : lock_(l), ctx_(ctx) {
+      lock_.acquire(ctx_);
+    }
+    ~Scope() { lock_.release(ctx_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ProgramLock& lock_;
+    ThreadContext& ctx_;
+  };
+
+ private:
+  std::mutex mu_;
+};
+
+// All-thread rendezvous; arrival releases (PSRO), waiting blocks (implicit
+// coordination target), departure resumes.
+class ProgramBarrier {
+ public:
+  explicit ProgramBarrier(int parties);
+
+  void arrive_and_wait(ThreadContext& ctx);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace ht

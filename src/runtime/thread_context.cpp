@@ -1,0 +1,35 @@
+#include "runtime/thread_context.hpp"
+
+#include "metadata/object_meta.hpp"
+
+namespace ht {
+
+ThreadContext::ThreadContext() { lock_buffer.reserve(256); }
+
+void ThreadContext::reset(ThreadId new_id, Runtime* rt) {
+  id = new_id;
+  runtime = rt;
+  registered = true;
+  fast_wr_ex_opt = StateWord::wr_ex_opt(new_id).raw();
+  fast_rd_ex_opt = StateWord::rd_ex_opt(new_id).raw();
+  rd_sh_count = 0;
+  point_index = 0;
+  lock_buffer.clear();
+  rd_set.clear();
+  stats = TransitionStats{};
+  in_region = false;
+  restart_requested = false;
+  undo_log = nullptr;
+  flush_self = nullptr;
+  flush_fn = nullptr;
+  abort_self = nullptr;
+  abort_fn = nullptr;
+  resp_log_self = nullptr;
+  resp_log_fn = nullptr;
+  owner_side.status.store(0, std::memory_order_relaxed);
+  owner_side.response_watermark.store(0, std::memory_order_relaxed);
+  owner_side.release_counter.store(0, std::memory_order_relaxed);
+  requester_side.request_tickets.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ht

@@ -1,0 +1,140 @@
+// Per-thread runtime state: coordination mailbox, deferred-unlocking lock
+// buffer and read set, release counter, recorder point index, and the hook
+// slots through which trackers / the recorder / the RS enforcer participate
+// in responding safe points.
+//
+// The coordination fields mirror the paper's substrate (§2.2): a status word
+// supporting implicit coordination with blocked threads, and a
+// ticket/watermark pair implementing explicit requests. We use a watermark
+// rather than per-request nodes: a responding safe point answers *all*
+// pending requests at once (exactly the paper's semantics — one buffer flush
+// serves every requester), and abandoned tickets from requesters that fell
+// back to implicit coordination are harmless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cache_line.hpp"
+#include "common/flat_set.hpp"
+#include "metadata/state_word.hpp"
+#include "tracking/transition_stats.hpp"
+
+namespace ht {
+
+class ObjectMeta;
+class Runtime;
+class ThreadContext;
+class UndoLog;
+
+// Thread status word: bit 0 = blocked, bits 1.. = epoch. A requester that
+// finds the blocked bit set CASes the epoch up; success proves the owner is
+// parked at a blocking safe point (with its lock buffer already flushed), so
+// the requester may proceed immediately — the paper's implicit coordination.
+struct ThreadStatus {
+  static constexpr std::uint64_t kBlockedBit = 1;
+
+  static bool is_blocked(std::uint64_t s) { return (s & kBlockedBit) != 0; }
+  static std::uint64_t epoch(std::uint64_t s) { return s >> 1; }
+  static std::uint64_t bump_epoch(std::uint64_t s) { return s + 2; }
+  static std::uint64_t make(std::uint64_t ep, bool blocked) {
+    return (ep << 1) | (blocked ? kBlockedBit : 0);
+  }
+};
+
+// Hook signatures. Hooks run at responding safe points in a fixed order:
+// region-abort (enforcer rollback) -> flush (tracker deferred unlocking) ->
+// release-counter bump -> watermark publish -> response-log (recorder).
+using ThreadHook = void (*)(void* self, ThreadContext& ctx);
+
+class ThreadContext {
+ public:
+  ThreadContext();
+  ThreadContext(const ThreadContext&) = delete;
+  ThreadContext& operator=(const ThreadContext&) = delete;
+
+  // Reinitializes for a fresh trial run (contexts are slot-reused).
+  void reset(ThreadId new_id, Runtime* rt);
+
+  // --- identity -------------------------------------------------------------
+  ThreadId id = kNoThread;
+  Runtime* runtime = nullptr;
+  bool registered = false;
+
+  // --- hot thread-local state ------------------------------------------------
+  // Cached raw state words for the tracker fast paths (precomputed at reset).
+  std::uint64_t fast_wr_ex_opt = 0;  // WrExOpt(id).raw()
+  std::uint64_t fast_rd_ex_opt = 0;  // RdExOpt(id).raw()
+
+  // Per-thread read-share counter (Table 1: fence transition iff
+  // T.rdShCount < c).
+  std::uint32_t rd_sh_count = 0;
+
+  // Deterministic instrumentation-point index (recorder §4.2): bumped at
+  // every tracked access, workload poll site, and PSRO — never inside
+  // nondeterministic spin loops.
+  std::uint64_t point_index = 0;
+
+  // Deferred unlocking (§3.1): objects whose pessimistic states this thread
+  // has locked, and the set of objects it holds read locks on (reentrancy).
+  std::vector<ObjectMeta*> lock_buffer;
+  FlatPtrSet rd_set;
+
+  TransitionStats stats;
+
+  // --- RS enforcer state ------------------------------------------------------
+  bool in_region = false;
+  bool restart_requested = false;
+  UndoLog* undo_log = nullptr;
+  // Tracked accesses completed by the current region. A region that has not
+  // acquired any object state yet can answer coordination requests without
+  // violating two-phase locking, so responding does not force a restart.
+  std::uint32_t region_access_count = 0;
+
+  // --- responding-safe-point hooks --------------------------------------------
+  void* flush_self = nullptr;
+  ThreadHook flush_fn = nullptr;  // tracker: unlock lock buffer
+  void* abort_self = nullptr;
+  ThreadHook abort_fn = nullptr;  // enforcer: roll back current region
+  void* resp_log_self = nullptr;
+  ThreadHook resp_log_fn = nullptr;  // recorder: log ResponseEvent
+
+  // --- shared coordination state (padded; written/read across threads) --------
+  // status + response_watermark + release_counter: written by owner, read by
+  // requesters. request_tickets: written by requesters, read by owner.
+  struct alignas(kCacheLine) OwnerSide {
+    std::atomic<std::uint64_t> status{0};
+    std::atomic<std::uint64_t> response_watermark{0};
+    std::atomic<std::uint64_t> release_counter{0};
+  } owner_side;
+  struct alignas(kCacheLine) RequesterSide {
+    std::atomic<std::uint64_t> request_tickets{0};
+  } requester_side;
+
+  // --- helpers -----------------------------------------------------------------
+  bool requests_pending() const {
+    return requester_side.request_tickets.load(std::memory_order_acquire) >
+           owner_side.response_watermark.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t release_counter_relaxed() const {
+    return owner_side.release_counter.load(std::memory_order_relaxed);
+  }
+
+  void run_flush_hook() {
+    if (flush_fn != nullptr) flush_fn(flush_self, *this);
+  }
+  void run_abort_hook() {
+    if (abort_fn != nullptr && in_region) abort_fn(abort_self, *this);
+  }
+  void run_resp_log_hook() {
+    if (resp_log_fn != nullptr) resp_log_fn(resp_log_self, *this);
+  }
+};
+
+// Exception unwinding a region that responded to a coordination request
+// mid-execution (paper §5: regions restart after responding).
+struct RegionRestart {};
+
+}  // namespace ht

@@ -1,0 +1,575 @@
+// Hybrid tracking (paper §3, Table 3, Fig 10): objects move between
+// optimistic states (Octet-style, no sync on the fast path) and pessimistic
+// states (reader–writer locking of the state word) under an adaptive policy.
+//
+// Deferred unlocking (§3.1) is the load-bearing idea: a pessimistic state a
+// thread locks stays locked until the thread's next program-synchronization
+// release operation or responding safe point, where the whole lock buffer
+// flushes. Locking therefore contends only when the program has an
+// object-level data race, in which case the accessor falls back to the same
+// coordination machinery optimistic tracking uses.
+//
+// Recorder edge discipline (DESIGN.md §4.4): a transition records
+//   * (owner, counter read after the response)     after coordination,
+//   * (owner, owner's current counter)             when the old state is an
+//     *unlocked* pessimistic state with a named owner — sound because the
+//     owner's flush bumped its counter after its last access and before
+//     unlocking, and
+//   * one edge per other thread at its current counter for every other
+//     dependence-bearing case (RdSh-involving and locked-state joins), whose
+//     prior accessors the state word does not name.
+#pragma once
+
+#include <atomic>
+
+#include "metadata/object_meta.hpp"
+#include "tracking/adaptive_policy.hpp"
+#include "tracking/tracker_common.hpp"
+
+namespace ht {
+
+// What a read by the owner of WrExPess_T transitions to (§7.1).
+enum class WrExReadMode {
+  kFull,            // -> WrExRLock_T: the complete model (needs 64-bit words)
+  kOmitWrExRLock,   // -> WrExWLock_T: the paper's 32-bit prototype
+  kUnsoundDowngrade // -> RdExRLock_T: the paper's unsound alternate config
+};
+
+struct HybridConfig {
+  PolicyConfig policy;
+  WrExReadMode wr_ex_read_mode = WrExReadMode::kFull;
+};
+
+template <bool kStats = false, typename Sink = NullSink>
+class HybridTracker {
+ public:
+  static constexpr const char* kName = "hybrid";
+  using Token = EmptyToken;
+
+  explicit HybridTracker(Runtime& rt, HybridConfig cfg = {},
+                         Sink* sink = nullptr)
+      : runtime_(&rt), policy_(cfg.policy), mode_(cfg.wr_ex_read_mode),
+        sink_(sink) {}
+
+  StateWord initial_state(ThreadContext& ctx) const {
+    // "Each object newly allocated by thread T starts in the WrExOpt_T
+    // state" (§6.2).
+    return StateWord::wr_ex_opt(ctx.id);
+  }
+
+  // Installs the deferred-unlocking flush as the thread's responding-safe-
+  // point hook (PSROs, explicit responses, blocking entry, thread exit).
+  void attach_thread(ThreadContext& ctx) {
+    ctx.flush_self = this;
+    ctx.flush_fn = [](void* self, ThreadContext& c) {
+      static_cast<HybridTracker*>(self)->flush(c);
+    };
+  }
+
+  AdaptivePolicy& policy() { return policy_; }
+
+  // --- store --------------------------------------------------------------
+  Token pre_store(ThreadContext& ctx, ObjectMeta& m) {
+    if (m.load_state().raw() == ctx.fast_wr_ex_opt) {  // Fig 10a
+      if constexpr (kStats) ++ctx.stats.opt_same;
+      return {};
+    }
+    store_slow(ctx, m);
+    return {};
+  }
+  void post_store(ThreadContext&, ObjectMeta&, Token) {}
+
+  // --- load ---------------------------------------------------------------
+  Token pre_load(ThreadContext& ctx, ObjectMeta& m) {
+    const StateWord s = m.load_state();
+    if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt ||
+        (s.kind() == StateKind::kRdShOpt && ctx.rd_sh_count >= s.counter())) {
+      if constexpr (kStats) ++ctx.stats.opt_same;
+      return {};
+    }
+    load_slow(ctx, m);
+    return {};
+  }
+  void post_load(ThreadContext&, ObjectMeta&, Token) {}
+
+  // Deferred unlocking's buffer flush (Fig 10c); public so tests can force
+  // flushes, normally reached via the thread hooks.
+  void flush(ThreadContext& ctx) {
+    for (ObjectMeta* m : ctx.lock_buffer) unlock_one(ctx, *m);
+    ctx.lock_buffer.clear();
+    ctx.rd_set.clear();
+  }
+
+  Runtime& runtime() { return *runtime_; }
+
+ private:
+  // Unlocks one lock-buffer entry (Table 3 "Pessimistic unlock / Pess->Opt"
+  // rows). Exclusive write locks cannot change under us, but read-locked
+  // states can be joined by concurrent readers (RdExRLock -> RdShRLock(2)),
+  // so unlocking CAS-loops on the current state.
+  void unlock_one(ThreadContext& ctx, ObjectMeta& m) {
+    for (;;) {
+      StateWord s = m.load_state();
+      switch (s.kind()) {
+        case StateKind::kWrExWLock: {
+          HT_DASSERT(s.tid() == ctx.id, "flushing a lock we do not hold");
+          // Sole owner of a write lock: nobody else may touch the state.
+          const bool to_opt = policy_.should_go_opt(m);
+          m.store_state(to_opt ? StateWord::wr_ex_opt(ctx.id)
+                               : StateWord::wr_ex_pess(ctx.id));
+          commit_unlock(ctx, m, to_opt);
+          return;
+        }
+        case StateKind::kWrExRLock: {
+          HT_DASSERT(s.tid() == ctx.id, "flushing a lock we do not hold");
+          const bool to_opt = policy_.should_go_opt(m);
+          StateWord expected = s;
+          if (m.cas_state(expected, to_opt ? StateWord::wr_ex_opt(ctx.id)
+                                           : StateWord::wr_ex_pess(ctx.id))) {
+            commit_unlock(ctx, m, to_opt);
+            return;
+          }
+          break;  // a reader joined: state became RdShRLock
+        }
+        case StateKind::kRdExRLock: {
+          HT_DASSERT(s.tid() == ctx.id, "flushing a lock we do not hold");
+          const bool to_opt = policy_.should_go_opt(m);
+          StateWord expected = s;
+          if (m.cas_state(expected, to_opt ? StateWord::rd_ex_opt(ctx.id)
+                                           : StateWord::rd_ex_pess(ctx.id))) {
+            commit_unlock(ctx, m, to_opt);
+            return;
+          }
+          break;
+        }
+        case StateKind::kRdShRLock: {
+          const std::uint32_t n = s.rdlock_count();
+          HT_DASSERT(n >= 1, "RdShRLock with zero holders");
+          StateWord next;
+          bool to_opt = false;
+          if (n > 1) {
+            next = StateWord::rd_sh_rlock(s.counter(), n - 1);
+          } else {
+            to_opt = policy_.should_go_opt(m);
+            next = to_opt ? StateWord::rd_sh_opt(s.counter())
+                          : StateWord::rd_sh_pess(s.counter());
+          }
+          StateWord expected = s;
+          if (m.cas_state(expected, next)) {
+            if (n == 1) commit_unlock(ctx, m, to_opt);
+            return;
+          }
+          break;  // another holder joined or left: recompute
+        }
+        default:
+          HT_ASSERT(false, "lock-buffer entry in a non-locked state");
+      }
+    }
+  }
+
+  // ==== store slow path (Fig 10b generalized to all Table 3 rows) ==========
+  void store_slow(ThreadContext& ctx, ObjectMeta& m) {
+    Runtime& rt = *runtime_;
+    bool contended = false;
+    for (;;) {
+      StateWord s = m.load_state();
+      switch (s.kind()) {
+        // ---- optimistic ----------------------------------------------------
+        case StateKind::kWrExOpt:
+          if (s.tid() == ctx.id) {
+            if constexpr (kStats) ++ctx.stats.opt_same;
+            return;
+          }
+          if (opt_conflicting(ctx, m, s, /*is_store=*/true)) return;
+          break;
+        case StateKind::kRdExOpt:
+          if (s.tid() == ctx.id) {
+            StateWord expected = s;
+            if (m.cas_state(expected, StateWord::wr_ex_opt(ctx.id))) {
+              if constexpr (kStats) ++ctx.stats.opt_upgrading;
+              return;
+            }
+            break;
+          }
+          if (opt_conflicting(ctx, m, s, /*is_store=*/true)) return;
+          break;
+        case StateKind::kRdShOpt:
+          if (opt_conflicting(ctx, m, s, /*is_store=*/true)) return;
+          break;
+        case StateKind::kInt:
+          rt.respond_while_waiting(ctx);
+          break;
+
+        // ---- pessimistic unlocked: uncontended lock acquisition -------------
+        case StateKind::kWrExPess:
+        case StateKind::kRdExPess: {
+          const bool confl = s.tid() != ctx.id;
+          StateWord expected = s;
+          if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
+            ctx.lock_buffer.push_back(&m);
+            finish_pess(ctx, m, confl, /*reentrant=*/false, contended);
+            if (confl) record_owner_edge(ctx, s.tid());
+            return;
+          }
+          break;
+        }
+        case StateKind::kRdShPess: {
+          StateWord expected = s;
+          if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
+            ctx.lock_buffer.push_back(&m);
+            finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
+            record_all_edges(ctx);
+            return;
+          }
+          break;
+        }
+
+        // ---- pessimistic locked ---------------------------------------------
+        case StateKind::kWrExWLock:
+          if (s.tid() == ctx.id) {  // reentrant (Table 3 row 1)
+            finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            return;
+          }
+          pess_contended(ctx, m, s, contended);
+          break;
+        case StateKind::kWrExRLock:
+        case StateKind::kRdExRLock:
+          if (s.tid() == ctx.id) {  // upgrade own read lock to a write lock
+            StateWord expected = s;
+            if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
+              // Already in the lock buffer from the read-lock acquisition.
+              finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+              return;
+            }
+            break;
+          }
+          pess_contended(ctx, m, s, contended);
+          break;
+        case StateKind::kRdShRLock:
+          if (s.rdlock_count() == 1 && ctx.rd_set.contains(&m)) {
+            // Sole read-lock holder is this thread: upgrade in place rather
+            // than deadlocking against our own lock.
+            StateWord expected = s;
+            if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
+              finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
+              record_all_edges(ctx);
+              return;
+            }
+            break;
+          }
+          pess_contended(ctx, m, s, contended);
+          break;
+
+        case StateKind::kPessLockedSentinel:
+          HT_ASSERT(false, "hybrid tracker saw a standalone-pessimistic state");
+      }
+    }
+  }
+
+  // ==== load slow path ========================================================
+  void load_slow(ThreadContext& ctx, ObjectMeta& m) {
+    Runtime& rt = *runtime_;
+    bool contended = false;
+    for (;;) {
+      StateWord s = m.load_state();
+      switch (s.kind()) {
+        // ---- optimistic ----------------------------------------------------
+        case StateKind::kWrExOpt:
+          if (s.tid() == ctx.id) {
+            if constexpr (kStats) ++ctx.stats.opt_same;
+            return;
+          }
+          if (opt_conflicting(ctx, m, s, /*is_store=*/false)) return;
+          break;
+        case StateKind::kRdExOpt: {
+          if (s.tid() == ctx.id) {
+            if constexpr (kStats) ++ctx.stats.opt_same;
+            return;
+          }
+          // Upgrading: RdEx_T1 read by T2 -> RdShOpt with a fresh counter.
+          const std::uint32_t c = rt.next_rd_sh_counter();
+          StateWord expected = s;
+          if (m.cas_state(expected, StateWord::rd_sh_opt(c))) {
+            if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
+            record_all_edges(ctx);
+            if constexpr (kStats) ++ctx.stats.opt_upgrading;
+            return;
+          }
+          break;
+        }
+        case StateKind::kRdShOpt:
+          if (ctx.rd_sh_count >= s.counter()) {
+            if constexpr (kStats) ++ctx.stats.opt_same;
+            return;
+          }
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          ctx.rd_sh_count = s.counter();
+          record_all_edges(ctx);
+          if constexpr (kStats) ++ctx.stats.opt_fence;
+          return;
+        case StateKind::kInt:
+          rt.respond_while_waiting(ctx);
+          break;
+
+        // ---- pessimistic unlocked -------------------------------------------
+        case StateKind::kWrExPess: {
+          if (s.tid() == ctx.id) {
+            // §7.1: the full model read-locks the owner's WrEx state so a
+            // second reader can share without contention; the prototype
+            // write-locks it; the unsound alternate downgrades to RdEx.
+            StateWord next;
+            bool read_lock = true;
+            switch (mode_) {
+              case WrExReadMode::kFull:
+                next = StateWord::wr_ex_rlock(ctx.id);
+                break;
+              case WrExReadMode::kOmitWrExRLock:
+                next = StateWord::wr_ex_wlock(ctx.id);
+                read_lock = false;
+                break;
+              case WrExReadMode::kUnsoundDowngrade:
+                next = StateWord::rd_ex_rlock(ctx.id);
+                break;
+            }
+            StateWord expected = s;
+            if (m.cas_state(expected, next)) {
+              ctx.lock_buffer.push_back(&m);
+              if (read_lock) ctx.rd_set.insert(&m);
+              finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+              return;
+            }
+            break;
+          }
+          // Cross-thread read of WrExPess_T1 -> RdExRLock_T2 (Table 3).
+          StateWord expected = s;
+          if (m.cas_state(expected, StateWord::rd_ex_rlock(ctx.id))) {
+            ctx.lock_buffer.push_back(&m);
+            ctx.rd_set.insert(&m);
+            finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
+            record_owner_edge(ctx, s.tid());
+            return;
+          }
+          break;
+        }
+        case StateKind::kRdExPess: {
+          if (s.tid() == ctx.id) {
+            StateWord expected = s;
+            if (m.cas_state(expected, StateWord::rd_ex_rlock(ctx.id))) {
+              ctx.lock_buffer.push_back(&m);
+              ctx.rd_set.insert(&m);
+              finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+              return;
+            }
+            break;
+          }
+          // RdExPess_T1 read by T2 -> RdShRLock(1) with a fresh counter.
+          const std::uint32_t c = rt.next_rd_sh_counter();
+          StateWord expected = s;
+          if (m.cas_state(expected, StateWord::rd_sh_rlock(c, 1))) {
+            if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
+            ctx.lock_buffer.push_back(&m);
+            ctx.rd_set.insert(&m);
+            finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+            record_owner_edge(ctx, s.tid());
+            return;
+          }
+          break;
+        }
+        case StateKind::kRdShPess: {
+          StateWord expected = s;
+          if (m.cas_state(expected,
+                          StateWord::rd_sh_rlock(s.counter(), 1))) {
+            if (ctx.rd_sh_count < s.counter()) ctx.rd_sh_count = s.counter();
+            ctx.lock_buffer.push_back(&m);
+            ctx.rd_set.insert(&m);
+            finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+            record_all_edges(ctx);
+            return;
+          }
+          break;
+        }
+
+        // ---- pessimistic locked ----------------------------------------------
+        case StateKind::kWrExWLock:
+          if (s.tid() == ctx.id) {  // reentrant
+            finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            return;
+          }
+          pess_contended(ctx, m, s, contended);
+          break;
+        case StateKind::kWrExRLock:
+          if (s.tid() == ctx.id) {  // reentrant (own read lock)
+            finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            return;
+          }
+          // Second concurrent reader: WrExRLock_T1 -> RdShRLock(2).
+          if (join_read_share(ctx, m, s, /*initial_holders=*/2,
+                              /*confl=*/true, contended))
+            return;
+          break;
+        case StateKind::kRdExRLock:
+          if (s.tid() == ctx.id) {  // reentrant
+            finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            return;
+          }
+          if (join_read_share(ctx, m, s, /*initial_holders=*/2,
+                              /*confl=*/false, contended))
+            return;
+          break;
+        case StateKind::kRdShRLock: {
+          if (ctx.rd_set.contains(&m)) {  // reentrant
+            finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            return;
+          }
+          // Join: RdShRLock(n) -> RdShRLock(n+1), same counter.
+          StateWord expected = s;
+          if (m.cas_state(expected,
+                          StateWord::rd_sh_rlock(s.counter(),
+                                                 s.rdlock_count() + 1))) {
+            if (ctx.rd_sh_count < s.counter()) ctx.rd_sh_count = s.counter();
+            ctx.lock_buffer.push_back(&m);
+            ctx.rd_set.insert(&m);
+            finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+            record_all_edges(ctx);
+            return;
+          }
+          break;
+        }
+
+        case StateKind::kPessLockedSentinel:
+          HT_ASSERT(false, "hybrid tracker saw a standalone-pessimistic state");
+      }
+    }
+  }
+
+  // RdExRLock_T1 / WrExRLock_T1 read by T2 -> RdShRLock(holders) with a
+  // fresh global counter (Table 3). The old holder's lock-buffer entry keeps
+  // working: its flush decrements the RdShRLock count.
+  bool join_read_share(ThreadContext& ctx, ObjectMeta& m, StateWord s,
+                       std::uint32_t initial_holders, bool confl,
+                       bool contended) {
+    const std::uint32_t c = runtime_->next_rd_sh_counter();
+    StateWord expected = s;
+    if (!m.cas_state(expected, StateWord::rd_sh_rlock(c, initial_holders)))
+      return false;
+    if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
+    ctx.lock_buffer.push_back(&m);
+    ctx.rd_set.insert(&m);
+    finish_pess(ctx, m, confl, /*reentrant=*/false, contended);
+    // The prior holder has not flushed since locking, so a single-owner
+    // current-counter edge would be unsound; fan out conservatively.
+    record_all_edges(ctx);
+    return true;
+  }
+
+  // Optimistic conflicting transition with adaptive-policy landing state
+  // (Fig 10b lines 41-53). Returns false if the CAS to Int lost a race.
+  bool opt_conflicting(ThreadContext& ctx, ObjectMeta& m, StateWord s,
+                       bool is_store) {
+    Runtime& rt = *runtime_;
+    StateWord expected = s;
+    if (!m.cas_state(expected, StateWord::intermediate(ctx.id))) return false;
+
+    bool any_explicit = false;
+    {
+      IntGuard guard(m, s);
+      if (s.is_rd_sh()) {
+        any_explicit = rt.coordinate_all_others(ctx);
+        record_all_edges(ctx);
+      } else {
+        const Runtime::CoordResult r = rt.coordinate(ctx, s.tid());
+        any_explicit = !r.implicit;
+        if constexpr (Sink::kActive) sink_->edge(ctx, s.tid(), r.src_release);
+      }
+      guard.disarm();
+    }
+
+    if (policy_.to_pess_on_conflict(m, any_explicit)) {
+      policy_.note_became_pess(m);
+      if (is_store) {
+        m.store_state(StateWord::wr_ex_wlock(ctx.id));
+      } else {
+        m.store_state(StateWord::rd_ex_rlock(ctx.id));
+        ctx.rd_set.insert(&m);
+      }
+      ctx.lock_buffer.push_back(&m);
+      if constexpr (kStats) ++ctx.stats.opt_to_pess;
+    } else {
+      m.store_state(is_store ? StateWord::wr_ex_opt(ctx.id)
+                             : StateWord::rd_ex_opt(ctx.id));
+    }
+    if constexpr (kStats) {
+      (any_explicit ? ctx.stats.opt_confl_explicit
+                    : ctx.stats.opt_confl_implicit)++;
+    }
+    return true;
+  }
+
+  // Contended pessimistic transition (§3.2): coordinate so the holder(s)
+  // unlock early at a responding safe point, then let the caller retry. The
+  // access is classified contended exactly once no matter how many
+  // coordination rounds its retries need (Table 2 counts transitions, and
+  // one access performs one transition).
+  void pess_contended(ThreadContext& ctx, ObjectMeta& m, StateWord s,
+                      bool& contended) {
+    Runtime& rt = *runtime_;
+    if (!contended) {
+      contended = true;
+      policy_.note_pess_contended(m);
+    }
+    if (s.kind() == StateKind::kRdShRLock) {
+      rt.coordinate_all_others(ctx);  // holders unknown (footnote 4)
+    } else {
+      rt.coordinate(ctx, s.tid());
+    }
+    // Edges for the eventual transition are recorded by the uncontended
+    // retry ("T2 then records its uncontended transition ... as described
+    // above", §4.2); the holders' responses were logged by the runtime.
+  }
+
+  void commit_unlock(ThreadContext& ctx, ObjectMeta& m, bool to_opt) {
+    if (to_opt) {
+      policy_.commit_go_opt(m);
+      if constexpr (kStats) ++ctx.stats.pess_to_opt;
+    }
+    (void)ctx;
+    (void)m;
+  }
+
+  void finish_pess(ThreadContext& ctx, ObjectMeta& m, bool confl,
+                   bool reentrant, bool contended = false) {
+    policy_.note_pess_transition(m, confl);
+    if constexpr (kStats) {
+      if (contended) {
+        ++ctx.stats.pess_contended;
+      } else {
+        ++ctx.stats.pess_uncontended;
+        if (reentrant) ++ctx.stats.pess_reentrant;
+      }
+    }
+    (void)reentrant;
+    (void)contended;
+  }
+
+  void record_owner_edge(ThreadContext& ctx, ThreadId owner) {
+    if constexpr (Sink::kActive) {
+      const ThreadContext& o = runtime_->registry().context(owner);
+      sink_->edge(ctx, owner,
+                  o.owner_side.release_counter.load(std::memory_order_acquire));
+    }
+    (void)owner;
+    (void)ctx;
+  }
+
+  void record_all_edges(ThreadContext& ctx) {
+    if constexpr (Sink::kActive) sink_->edge_all_others(ctx, *runtime_);
+    (void)ctx;
+  }
+
+  Runtime* runtime_;
+  AdaptivePolicy policy_;
+  WrExReadMode mode_;
+  Sink* sink_;
+};
+
+}  // namespace ht

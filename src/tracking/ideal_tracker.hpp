@@ -1,0 +1,114 @@
+// The Fig 7 "Ideal" configuration: optimistic tracking with coordination for
+// conflicting transitions elided — conflicting transitions become bare CASes.
+//
+// This is UNSOUND (it can miss dependences and violates instrumentation-
+// access atomicity); the paper uses it purely as an estimated upper bound on
+// what hybrid tracking could recover: "the cost of all conflicting
+// transitions becoming pessimistic and all same-state transitions remaining
+// optimistic" (§7.5).
+#pragma once
+
+#include <atomic>
+
+#include "metadata/object_meta.hpp"
+#include "tracking/tracker_common.hpp"
+
+namespace ht {
+
+template <bool kStats = false>
+class IdealTracker {
+ public:
+  static constexpr const char* kName = "ideal";
+  using Token = EmptyToken;
+
+  explicit IdealTracker(Runtime& rt) : runtime_(&rt) {}
+
+  StateWord initial_state(ThreadContext& ctx) const {
+    return StateWord::wr_ex_opt(ctx.id);
+  }
+  void attach_thread(ThreadContext&) {}
+
+  Token pre_store(ThreadContext& ctx, ObjectMeta& m) {
+    if (m.load_state().raw() == ctx.fast_wr_ex_opt) {
+      if constexpr (kStats) ++ctx.stats.opt_same;
+      return {};
+    }
+    slow(ctx, m, /*is_store=*/true);
+    return {};
+  }
+  void post_store(ThreadContext&, ObjectMeta&, Token) {}
+
+  Token pre_load(ThreadContext& ctx, ObjectMeta& m) {
+    const StateWord s = m.load_state();
+    if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt ||
+        (s.kind() == StateKind::kRdShOpt && ctx.rd_sh_count >= s.counter())) {
+      if constexpr (kStats) ++ctx.stats.opt_same;
+      return {};
+    }
+    slow(ctx, m, /*is_store=*/false);
+    return {};
+  }
+  void post_load(ThreadContext&, ObjectMeta&, Token) {}
+
+  Runtime& runtime() { return *runtime_; }
+
+ private:
+  void slow(ThreadContext& ctx, ObjectMeta& m, bool is_store) {
+    Runtime& rt = *runtime_;
+    for (;;) {
+      StateWord s = m.load_state();
+      if (s.raw() == ctx.fast_wr_ex_opt ||
+          (!is_store && s.raw() == ctx.fast_rd_ex_opt)) {
+        if constexpr (kStats) ++ctx.stats.opt_same;
+        return;
+      }
+      StateWord next;
+      bool conflicting = false;
+      if (is_store) {
+        next = StateWord::wr_ex_opt(ctx.id);
+        conflicting = !(s.kind() == StateKind::kRdExOpt && s.tid() == ctx.id);
+      } else {
+        switch (s.kind()) {
+          case StateKind::kRdShOpt:
+            if (ctx.rd_sh_count >= s.counter()) {
+              if constexpr (kStats) ++ctx.stats.opt_same;
+              return;
+            }
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            ctx.rd_sh_count = s.counter();
+            if constexpr (kStats) ++ctx.stats.opt_fence;
+            return;
+          case StateKind::kRdExOpt:
+            next = StateWord::rd_sh_opt(rt.next_rd_sh_counter());
+            break;
+          case StateKind::kWrExOpt:
+            next = StateWord::rd_ex_opt(ctx.id);
+            conflicting = true;
+            break;
+          default:
+            HT_ASSERT(false, "ideal tracker saw a non-optimistic state");
+            return;
+        }
+      }
+      StateWord expected = s;
+      if (m.cas_state(expected, next)) {
+        if (next.kind() == StateKind::kRdShOpt &&
+            ctx.rd_sh_count < next.counter()) {
+          ctx.rd_sh_count = next.counter();
+        }
+        if constexpr (kStats) {
+          // Elided coordination still counts as a conflicting transition so
+          // statistics runs show what the Ideal configuration skipped.
+          (conflicting ? ctx.stats.opt_confl_implicit
+                       : ctx.stats.opt_upgrading)++;
+        }
+        (void)conflicting;
+        return;
+      }
+    }
+  }
+
+  Runtime* runtime_;
+};
+
+}  // namespace ht

@@ -1,0 +1,34 @@
+// Baseline "tracker": no instrumentation at all. Workloads run under this to
+// produce the unmodified-runtime baseline times that every overhead figure
+// divides by (the paper's "overhead added over unmodified Jikes RVM", §7.5).
+#pragma once
+
+#include "metadata/object_meta.hpp"
+#include "tracking/tracker_common.hpp"
+
+namespace ht {
+
+class NullTracker {
+ public:
+  static constexpr const char* kName = "none";
+  using Token = EmptyToken;
+
+  explicit NullTracker(Runtime& rt) : runtime_(&rt) {}
+
+  StateWord initial_state(ThreadContext& ctx) const {
+    return StateWord::wr_ex_opt(ctx.id);
+  }
+  void attach_thread(ThreadContext&) {}
+
+  Token pre_load(ThreadContext&, ObjectMeta&) { return {}; }
+  void post_load(ThreadContext&, ObjectMeta&, Token) {}
+  Token pre_store(ThreadContext&, ObjectMeta&) { return {}; }
+  void post_store(ThreadContext&, ObjectMeta&, Token) {}
+
+  Runtime& runtime() { return *runtime_; }
+
+ private:
+  Runtime* runtime_;
+};
+
+}  // namespace ht

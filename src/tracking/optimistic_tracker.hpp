@@ -1,0 +1,184 @@
+// Optimistic tracking (paper §2.2; Octet [11]): no synchronization at all on
+// the fast path (same-state transitions), an atomic operation for upgrading
+// transitions, a memory fence for RdSh fence transitions, and full
+// inter-thread coordination for conflicting transitions.
+//
+// Conflicting transitions follow Fig 1: CAS the state to the intermediate
+// Int_T (only one thread coordinates per object at a time), perform a round
+// trip with the owner thread(s) — implicit if the owner is blocked —, then
+// install the new state. While waiting, the requester itself acts as a safe
+// point so that mutual coordination cannot deadlock (Fig 1 line 18).
+#pragma once
+
+#include <atomic>
+
+#include "metadata/object_meta.hpp"
+#include "tracking/tracker_common.hpp"
+
+namespace ht {
+
+template <bool kStats = false, typename Sink = NullSink>
+class OptimisticTracker {
+ public:
+  static constexpr const char* kName = "optimistic";
+  using Token = EmptyToken;
+
+  explicit OptimisticTracker(Runtime& rt, Sink* sink = nullptr)
+      : runtime_(&rt), sink_(sink) {}
+
+  // Fig 6 limit study: when enabled, each conflicting transition that used
+  // explicit coordination increments the object's profile word, giving the
+  // per-object conflict census the adaptive policy's evaluation rests on.
+  void enable_conflict_census() { census_ = true; }
+
+  StateWord initial_state(ThreadContext& ctx) const {
+    return StateWord::wr_ex_opt(ctx.id);
+  }
+  void attach_thread(ThreadContext&) {}
+
+  // --- store ------------------------------------------------------------------
+  Token pre_store(ThreadContext& ctx, ObjectMeta& m) {
+    // Fast path (Fig 10a shape): a single load and compare.
+    if (m.load_state().raw() == ctx.fast_wr_ex_opt) {
+      if constexpr (kStats) ++ctx.stats.opt_same;
+      return {};
+    }
+    store_slow(ctx, m);
+    return {};
+  }
+  void post_store(ThreadContext&, ObjectMeta&, Token) {}
+
+  // --- load -------------------------------------------------------------------
+  Token pre_load(ThreadContext& ctx, ObjectMeta& m) {
+    const StateWord s = m.load_state();
+    if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt ||
+        (s.kind() == StateKind::kRdShOpt && ctx.rd_sh_count >= s.counter())) {
+      if constexpr (kStats) ++ctx.stats.opt_same;
+      return {};
+    }
+    load_slow(ctx, m);
+    return {};
+  }
+  void post_load(ThreadContext&, ObjectMeta&, Token) {}
+
+  Runtime& runtime() { return *runtime_; }
+
+ private:
+  void store_slow(ThreadContext& ctx, ObjectMeta& m) {
+    Runtime& rt = *runtime_;
+    for (;;) {
+      StateWord s = m.load_state();
+      if (s.raw() == ctx.fast_wr_ex_opt) {
+        // Another iteration (or a racing thread handing the state back)
+        // already produced the state we need.
+        if constexpr (kStats) ++ctx.stats.opt_same;
+        return;
+      }
+      if (s.kind() == StateKind::kRdExOpt && s.tid() == ctx.id) {
+        // Upgrading: RdEx_T -> WrEx_T, atomic but coordination-free.
+        StateWord expected = s;
+        if (m.cas_state(expected, StateWord::wr_ex_opt(ctx.id))) {
+          if constexpr (kStats) ++ctx.stats.opt_upgrading;
+          return;
+        }
+        continue;
+      }
+      if (s.is_intermediate()) {
+        rt.respond_while_waiting(ctx);
+        continue;
+      }
+      if (conflicting_transition(ctx, m, s, StateWord::wr_ex_opt(ctx.id)))
+        return;
+    }
+  }
+
+  void load_slow(ThreadContext& ctx, ObjectMeta& m) {
+    Runtime& rt = *runtime_;
+    for (;;) {
+      StateWord s = m.load_state();
+      if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt) {
+        if constexpr (kStats) ++ctx.stats.opt_same;
+        return;
+      }
+      switch (s.kind()) {
+        case StateKind::kRdShOpt: {
+          if (ctx.rd_sh_count >= s.counter()) {
+            if constexpr (kStats) ++ctx.stats.opt_same;
+            return;
+          }
+          // Fence transition (Table 1): first read of this RdSh epoch by T.
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          ctx.rd_sh_count = s.counter();
+          if constexpr (Sink::kActive) sink_->edge_all_others(ctx, rt);
+          if constexpr (kStats) ++ctx.stats.opt_fence;
+          return;
+        }
+        case StateKind::kRdExOpt: {
+          // Upgrading: RdEx_T1 read by T2 -> RdSh_c with a fresh counter.
+          const std::uint32_t c = rt.next_rd_sh_counter();
+          StateWord expected = s;
+          if (m.cas_state(expected, StateWord::rd_sh_opt(c))) {
+            if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
+            if constexpr (Sink::kActive) sink_->edge_all_others(ctx, rt);
+            if constexpr (kStats) ++ctx.stats.opt_upgrading;
+            return;
+          }
+          continue;
+        }
+        case StateKind::kInt:
+          rt.respond_while_waiting(ctx);
+          continue;
+        case StateKind::kWrExOpt: {
+          if (conflicting_transition(ctx, m, s, StateWord::rd_ex_opt(ctx.id)))
+            return;
+          continue;
+        }
+        default:
+          HT_ASSERT(false, "optimistic tracker saw a pessimistic state");
+      }
+    }
+  }
+
+  // Conflicting transition via Int + coordination (Fig 1). Returns false if
+  // the initial CAS lost a race and the caller should re-examine the state.
+  bool conflicting_transition(ThreadContext& ctx, ObjectMeta& m, StateWord old_state,
+                              StateWord new_state) {
+    Runtime& rt = *runtime_;
+    StateWord expected = old_state;
+    if (!m.cas_state(expected, StateWord::intermediate(ctx.id))) return false;
+
+    bool any_explicit = false;
+    {
+      IntGuard guard(m, old_state);  // enforcer regions may unwind the wait
+      if (old_state.is_rd_sh()) {
+        // Prior readers are unknown: coordinate with every other thread
+        // (paper footnote 4).
+        any_explicit = rt.coordinate_all_others(ctx);
+        if constexpr (Sink::kActive) sink_->edge_all_others(ctx, rt);
+      } else {
+        const Runtime::CoordResult r = rt.coordinate(ctx, old_state.tid());
+        any_explicit = !r.implicit;
+        if constexpr (Sink::kActive)
+          sink_->edge(ctx, old_state.tid(), r.src_release);
+      }
+      guard.disarm();
+    }
+    m.store_state(new_state);
+    if (census_ && any_explicit) {
+      m.profile().update(
+          [](ProfileWord w) { return w.with_opt_conflict_inc(); });
+    }
+    if constexpr (kStats) {
+      (any_explicit ? ctx.stats.opt_confl_explicit
+                    : ctx.stats.opt_confl_implicit)++;
+    }
+    (void)any_explicit;
+    return true;
+  }
+
+  Runtime* runtime_;
+  Sink* sink_;
+  bool census_ = false;
+};
+
+}  // namespace ht

@@ -1,0 +1,95 @@
+// Object-granularity tracking: multiple fields sharing ONE last-access state
+// word — the paper's actual metadata granularity ("This paper uses the term
+// 'object' to refer to any unit of shared memory"; the implementation adds
+// two header words per *object*, §7.1).
+//
+// This granularity is what makes "object-level data races" (§3.1) a distinct
+// concept: two threads touching *different fields* of the same object
+// without synchronization still contend on the object's single state word —
+// "two unsynchronized, conflicting accesses to the same object, but not
+// necessarily the same field or array element" (Fig 2(b)). TrackedVar<T>
+// models single-field objects; TrackedObject<T, N> models the general case.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <type_traits>
+
+#include "enforcer/region.hpp"
+#include "metadata/object_meta.hpp"
+#include "runtime/thread_context.hpp"
+
+namespace ht {
+
+template <typename T, std::size_t N>
+class TrackedObject {
+  static_assert(N >= 1, "objects have at least one field");
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "tracked payloads must fit the undo log's 64-bit entries");
+
+ public:
+  TrackedObject() {
+    for (auto& f : fields_) f.store(T{}, std::memory_order_relaxed);
+  }
+  TrackedObject(const TrackedObject&) = delete;
+  TrackedObject& operator=(const TrackedObject&) = delete;
+
+  static constexpr std::size_t field_count() { return N; }
+
+  template <typename Tracker>
+  void init(Tracker& tracker, ThreadContext& ctx, T v = T{}) {
+    meta_.reset(tracker.initial_state(ctx));
+    for (auto& f : fields_) f.store(v, std::memory_order_relaxed);
+  }
+
+  // One instrumentation action covers whichever field is accessed: all
+  // fields share the object's state (the paper's per-object granularity).
+  template <typename Tracker>
+  T load_field(Tracker& tracker, ThreadContext& ctx, std::size_t i) {
+    HT_DASSERT(i < N, "field index out of range");
+    ++ctx.point_index;
+    auto tok = tracker.pre_load(ctx, meta_);
+    const T v = fields_[i].load(std::memory_order_relaxed);
+    tracker.post_load(ctx, meta_, tok);
+    return v;
+  }
+
+  template <typename Tracker>
+  void store_field(Tracker& tracker, ThreadContext& ctx, std::size_t i, T v) {
+    HT_DASSERT(i < N, "field index out of range");
+    ++ctx.point_index;
+    auto tok = tracker.pre_store(ctx, meta_);
+    if (ctx.undo_log != nullptr) {
+      ctx.undo_log->push(&fields_[i],
+                         bits_of(fields_[i].load(std::memory_order_relaxed)),
+                         &restore_bits);
+    }
+    fields_[i].store(v, std::memory_order_relaxed);
+    tracker.post_store(ctx, meta_, tok);
+  }
+
+  T raw_field(std::size_t i) const {
+    return fields_[i].load(std::memory_order_relaxed);
+  }
+
+  ObjectMeta& meta() { return meta_; }
+  const ObjectMeta& meta() const { return meta_; }
+
+ private:
+  static std::uint64_t bits_of(T v) {
+    std::uint64_t b = 0;
+    __builtin_memcpy(&b, &v, sizeof(T));
+    return b;
+  }
+  static void restore_bits(void* addr, std::uint64_t bits) {
+    T v;
+    __builtin_memcpy(&v, &bits, sizeof(T));
+    static_cast<std::atomic<T>*>(addr)->store(v, std::memory_order_relaxed);
+  }
+
+  ObjectMeta meta_;
+  std::array<std::atomic<T>, N> fields_;
+};
+
+}  // namespace ht

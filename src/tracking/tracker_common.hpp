@@ -1,0 +1,60 @@
+// Shared pieces of the tracker implementations: the dependence-sink concept
+// (how the recorder observes happens-before edges), access tokens, and the
+// intermediate-state guard used when a coordination wait unwinds.
+#pragma once
+
+#include <cstdint>
+
+#include "metadata/object_meta.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/thread_context.hpp"
+
+namespace ht {
+
+// A dependence sink receives the happens-before edges a tracker identifies
+// (paper §4: the recorder "identifies and records happens-before edges ...
+// that transitively imply all cross-thread dependences"). Trackers are
+// templated on the sink; the default NullSink makes every call vanish.
+//
+//   edge(ctx, src, value)  — sink access (at ctx.point_index) must follow
+//                            thread `src` reaching release counter `value`.
+//   edge_all_others(ctx)   — conservative fan-out edge: one edge per other
+//                            registered thread at its current counter (used
+//                            for RdSh-involving transitions whose prior
+//                            accessors the state word does not name).
+struct NullSink {
+  static constexpr bool kActive = false;
+  void edge(ThreadContext&, ThreadId, std::uint64_t) {}
+  void edge_all_others(ThreadContext&, Runtime&) {}
+};
+
+inline NullSink g_null_sink;
+
+// Empty access token for trackers whose instrumentation completes before the
+// program access (optimistic/hybrid/null/ideal). The pessimistic tracker's
+// token carries the post-access unlock target instead.
+struct EmptyToken {};
+
+// Restores an object's old state if a coordination wait unwinds via
+// RegionRestart while the thread owns the intermediate (Int) state. Without
+// this, an aborted region would leave the object permanently wedged.
+class IntGuard {
+ public:
+  IntGuard(ObjectMeta& m, StateWord old_state) : m_(m), old_(old_state) {}
+  ~IntGuard() {
+    if (armed_) m_.store_state(old_);
+  }
+  IntGuard(const IntGuard&) = delete;
+  IntGuard& operator=(const IntGuard&) = delete;
+
+  void disarm() { armed_ = false; }
+
+ private:
+  ObjectMeta& m_;
+  StateWord old_;
+  bool armed_ = true;
+};
+
+const char* tracker_display_name(const char* key);
+
+}  // namespace ht

@@ -1,0 +1,20 @@
+#include "tracking/tracker_common.hpp"
+
+#include <cstring>
+
+namespace ht {
+
+// Display names used by the bench harnesses, matching the paper's figure
+// legends.
+const char* tracker_display_name(const char* key) {
+  if (std::strcmp(key, "none") == 0) return "Baseline (no tracking)";
+  if (std::strcmp(key, "pessimistic") == 0) return "Pessimistic tracking";
+  if (std::strcmp(key, "optimistic") == 0) return "Optimistic tracking";
+  if (std::strcmp(key, "hybrid") == 0) return "Hybrid tracking";
+  if (std::strcmp(key, "hybrid-inf") == 0)
+    return "Hybrid tracking w/infinite cutoff";
+  if (std::strcmp(key, "ideal") == 0) return "Ideal";
+  return key;
+}
+
+}  // namespace ht

@@ -1,0 +1,42 @@
+#include "tracking/transition_stats.hpp"
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+
+namespace ht {
+
+TransitionStats& TransitionStats::operator+=(const TransitionStats& o) {
+  opt_same += o.opt_same;
+  opt_upgrading += o.opt_upgrading;
+  opt_fence += o.opt_fence;
+  opt_confl_explicit += o.opt_confl_explicit;
+  opt_confl_implicit += o.opt_confl_implicit;
+  pess_uncontended += o.pess_uncontended;
+  pess_reentrant += o.pess_reentrant;
+  pess_contended += o.pess_contended;
+  opt_to_pess += o.opt_to_pess;
+  pess_to_opt += o.pess_to_opt;
+  pess_alone_same += o.pess_alone_same;
+  pess_alone_cross += o.pess_alone_cross;
+  coordination_rounds += o.coordination_rounds;
+  responding_safepoints += o.responding_safepoints;
+  psros += o.psros;
+  region_restarts += o.region_restarts;
+  return *this;
+}
+
+std::string TransitionStats::table2_row() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%10s %10s %10s %5.0f%% %10s %9s %9s",
+                format_sci(static_cast<double>(opt_same)).c_str(),
+                format_sci(static_cast<double>(opt_conflicting())).c_str(),
+                format_sci(static_cast<double>(pess_uncontended)).c_str(),
+                100.0 * reentrant_fraction(),
+                format_sci(static_cast<double>(pess_contended)).c_str(),
+                format_sci(static_cast<double>(opt_to_pess)).c_str(),
+                format_sci(static_cast<double>(pess_to_opt)).c_str());
+  return buf;
+}
+
+}  // namespace ht

@@ -1,0 +1,75 @@
+#include "workload/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace ht {
+
+int trials_from_env(int fallback) {
+  if (const char* v = std::getenv("HT_TRIALS")) {
+    const int n = std::atoi(v);
+    if (n >= 1) return n;
+  }
+  return fallback;
+}
+
+double scale_from_env(double fallback) {
+  if (const char* v = std::getenv("HT_SCALE")) {
+    const double s = std::atof(v);
+    if (s > 0) return s;
+  }
+  return fallback;
+}
+
+Overhead overhead_vs(const RunStats& base, const RunStats& config) {
+  HT_ASSERT(!base.empty() && !config.empty(), "overhead of empty stats");
+  const double b = base.median();
+  Overhead o;
+  o.median_pct = (config.median() / b - 1.0) * 100.0;
+  o.mean_pct = (config.mean() / b - 1.0) * 100.0;
+  o.ci_half_pct = config.ci95_half_width() / b * 100.0;
+  return o;
+}
+
+void print_table_rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+void print_overhead_header(const std::vector<std::string>& config_names) {
+  std::printf("%-12s", "workload");
+  for (const auto& n : config_names) std::printf(" %22s", n.c_str());
+  std::printf("\n");
+  print_table_rule(12 + 23 * static_cast<int>(config_names.size()));
+}
+
+void print_overhead_row(const std::string& workload,
+                        const std::vector<Overhead>& cells) {
+  std::printf("%-12s", workload.c_str());
+  for (const Overhead& o : cells) {
+    char cell[64];
+    std::snprintf(cell, sizeof cell, "%7.1f%% (±%5.1f%%)", o.median_pct,
+                  o.ci_half_pct);
+    std::printf(" %22s", cell);
+  }
+  std::printf("\n");
+}
+
+void print_geomean_row(
+    const std::vector<std::vector<double>>& per_config_medians) {
+  std::printf("%-12s", "geomean");
+  for (const auto& medians : per_config_medians) {
+    std::vector<double> fractions;
+    fractions.reserve(medians.size());
+    for (double pct : medians) fractions.push_back(pct / 100.0);
+    char cell[64];
+    std::snprintf(cell, sizeof cell, "%7.1f%%",
+                  geomean_overhead(fractions) * 100.0);
+    std::printf(" %22s", cell);
+  }
+  std::printf("\n");
+}
+
+}  // namespace ht

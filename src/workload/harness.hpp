@@ -1,0 +1,52 @@
+// Measurement harness shared by the figure benches: trial repetition, the
+// paper's reporting statistics ("the median of 20 trial runs; we also show
+// the mean as the center of 95% confidence intervals", §7.2), and overhead
+// computation against the no-tracking baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace ht {
+
+// Trial count: HT_TRIALS env var, else `fallback` (the paper uses 20; the
+// benches default lower so the full suite runs in minutes).
+int trials_from_env(int fallback = 5);
+
+// Workload scale: HT_SCALE env var (multiplies ops_per_thread), default 1.
+double scale_from_env(double fallback = 1.0);
+
+// Runs `discard` untimed warm-up trials (CPU-governor ramp-up and allocator
+// warm-up otherwise skew whichever configuration measures first), then
+// `trials` timed trials.
+template <typename RunFn>
+RunStats run_trials(int trials, RunFn&& fn, int discard = 1) {
+  RunStats s;
+  for (int i = 0; i < discard; ++i) (void)fn();
+  for (int i = 0; i < trials; ++i) {
+    const WorkloadRunResult r = fn();
+    s.add(r.seconds);
+  }
+  return s;
+}
+
+struct Overhead {
+  double median_pct = 0;   // median(config)/median(base) - 1
+  double mean_pct = 0;     // mean-based center of the CI
+  double ci_half_pct = 0;  // 95% CI half width (as % of base median)
+};
+
+Overhead overhead_vs(const RunStats& base, const RunStats& config);
+
+// --- row printing -----------------------------------------------------------
+void print_table_rule(int width = 96);
+void print_overhead_header(const std::vector<std::string>& config_names);
+void print_overhead_row(const std::string& workload,
+                        const std::vector<Overhead>& cells);
+void print_geomean_row(const std::vector<std::vector<double>>& per_config_medians);
+
+}  // namespace ht

@@ -1,0 +1,33 @@
+// Named workload profiles calibrated to the paper's benchmark suite
+// (DaCapo 2006-10-MR2 / 9.12-bach, SPECjbb2000/2005; §7.2 and Table 2).
+//
+// Each profile targets the corresponding benchmark's *conflict character*:
+// the fraction of accesses triggering optimistic conflicting transitions
+// (Table 2: Conflicting / Same-state), whether conflicts are synchronized
+// (xalan: deferred unlocking wins), racy (avrora9/pjbb2005: contended
+// pessimistic transitions), or resolved under a coarse global lock
+// (hsqldb6: implicit coordination), and how read-shared the heap is
+// (sunflow9: 92% reentrant).
+//
+// Absolute access counts are scaled down from the paper's 1e9-1e10 range so
+// the whole evaluation runs in minutes on one core; the `scale` parameter
+// multiplies ops_per_thread for longer runs.
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace ht {
+
+// All 13 profiles, in the paper's Table 2 order.
+std::vector<WorkloadConfig> paper_profiles(double scale = 1.0);
+
+// Subset used by Fig 9(a) (the recorder section drops eclipse6, which the
+// optimistic replayer cannot replay).
+std::vector<WorkloadConfig> recorder_profiles(double scale = 1.0);
+
+// Look up one profile by name; aborts on unknown names.
+WorkloadConfig profile_by_name(const char* name, double scale = 1.0);
+
+}  // namespace ht

@@ -1,0 +1,42 @@
+#include "workload/workload.hpp"
+
+namespace ht {
+
+WorkloadData::WorkloadData(const WorkloadConfig& cfg) {
+  private_pools_.reserve(static_cast<std::size_t>(cfg.threads));
+  for (int t = 0; t < cfg.threads; ++t) {
+    private_pools_.push_back(
+        std::make_unique<std::vector<TrackedVar<std::uint64_t>>>(
+            cfg.private_objects));
+  }
+  general_ = std::vector<TrackedVar<std::uint64_t>>(cfg.general_objects);
+  readshare_ = std::vector<TrackedVar<std::uint64_t>>(cfg.readshare_objects);
+  hot_ = std::vector<TrackedVar<std::uint64_t>>(cfg.hot_objects);
+  const int locks = cfg.locks >= 1 ? cfg.locks : 1;
+  locks_.reserve(static_cast<std::size_t>(locks));
+  for (int i = 0; i < locks; ++i) {
+    locks_.push_back(std::make_unique<ProgramLock>());
+  }
+}
+
+void WorkloadData::raw_reset_values() {
+  for (auto& pool : private_pools_)
+    for (auto& v : *pool) v.raw_store(0);
+  for (auto& v : general_) v.raw_store(0);
+  for (auto& v : readshare_) v.raw_store(0);
+  for (auto& v : hot_) v.raw_store(0);
+}
+
+std::vector<std::uint32_t> WorkloadData::per_object_conflict_counts() const {
+  std::vector<std::uint32_t> counts;
+  counts.reserve(hot_.size() + general_.size() + readshare_.size());
+  for (const auto& v : hot_)
+    counts.push_back(v.meta().profile().load().opt_conflicts());
+  for (const auto& v : general_)
+    counts.push_back(v.meta().profile().load().opt_conflicts());
+  for (const auto& v : readshare_)
+    counts.push_back(v.meta().profile().load().opt_conflicts());
+  return counts;
+}
+
+}  // namespace ht

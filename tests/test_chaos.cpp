@@ -1,0 +1,143 @@
+// Chaos tests: randomized multi-threaded schedules driving the raw tracker
+// and runtime APIs directly — random accesses, random PSROs, random blocking
+// windows, random thread exits — asserting only the invariants that must
+// hold under ANY schedule. This is the failure-injection layer: scenarios
+// the structured workloads never produce (blocking mid-lock-buffer, exits
+// while holding read shares, PSRO storms) appear here with high probability.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/xorshift.hpp"
+#include "test_util.hpp"
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/optimistic_tracker.hpp"
+#include "tracking/tracked_var.hpp"
+
+namespace ht {
+namespace {
+
+struct ChaosCase {
+  std::uint64_t seed;
+  int threads;
+  int objects;
+};
+
+class ChaosP : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosP, HybridSurvivesRandomSchedules) {
+  const ChaosCase c = GetParam();
+  Runtime rt;
+  HybridConfig hc;
+  hc.policy.cutoff_confl = 2;  // aggressive transfers: more pessimistic churn
+  hc.policy.inertia = 8;
+  hc.policy.k_confl = 4;       // and frequent returns to optimistic
+  HybridTracker<true> tracker(rt, hc);
+
+  std::vector<TrackedVar<std::uint64_t>> vars(
+      static_cast<std::size_t>(c.objects));
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < c.threads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext& ctx = rt.register_thread();
+      tracker.attach_thread(ctx);
+      if (ctx.id == 0) {
+        for (auto& v : vars) v.init(tracker, ctx, 0);
+      }
+      ready.fetch_add(1);
+      while (ready.load() < c.threads) {
+        rt.poll(ctx);
+        std::this_thread::yield();
+      }
+      Xoshiro256 rng(c.seed * 977 + static_cast<std::uint64_t>(t));
+      const int ops = 2'000 + static_cast<int>(rng.next_below(2'000));
+      for (int i = 0; i < ops; ++i) {
+        auto& v = vars[rng.next_below(static_cast<std::uint64_t>(c.objects))];
+        switch (rng.next_below(8)) {
+          case 0:
+          case 1:
+          case 2:
+            v.store(tracker, ctx, rng.next());
+            break;
+          case 3:
+          case 4:
+          case 5:
+            (void)v.load(tracker, ctx);
+            break;
+          case 6:
+            rt.psro(ctx);
+            break;
+          case 7:
+            // Random blocking window: flushes, parks, wakes.
+            rt.begin_blocking(ctx);
+            if (rng.chance(1, 2)) std::this_thread::yield();
+            rt.end_blocking(ctx);
+            break;
+        }
+        rt.poll(ctx);
+        if (rng.chance(1, 8)) std::this_thread::yield();
+      }
+      rt.unregister_thread(ctx);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Invariants under any schedule: every object quiescent (no locks, no Int,
+  // valid kind) once all threads have flushed and exited.
+  for (auto& v : vars) {
+    const StateWord s = v.meta().load_state();
+    EXPECT_TRUE(s.is_optimistic() || s.is_pess_unlocked()) << s.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ChaosP,
+    ::testing::Values(ChaosCase{11, 2, 4}, ChaosCase{22, 3, 2},
+                      ChaosCase{33, 4, 8}, ChaosCase{44, 4, 1},
+                      ChaosCase{55, 6, 3}, ChaosCase{66, 3, 16}),
+    [](const ::testing::TestParamInfo<ChaosCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_t" +
+             std::to_string(param_info.param.threads) + "_o" +
+             std::to_string(param_info.param.objects);
+    });
+
+TEST(Chaos, OptimisticSurvivesBlockingStorms) {
+  Runtime rt;
+  OptimisticTracker<> tracker(rt);
+  TrackedVar<std::uint64_t> var;
+  std::atomic<int> ready{0};
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext& ctx = rt.register_thread();
+      if (ctx.id == 0) var.init(tracker, ctx, 0);
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+        rt.poll(ctx);
+        std::this_thread::yield();
+      }
+      Xoshiro256 rng(1234 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 3'000; ++i) {
+        if (rng.chance(1, 3)) {
+          rt.begin_blocking(ctx);
+          rt.end_blocking(ctx);
+        }
+        if (rng.chance(1, 2)) {
+          var.store(tracker, ctx, rng.next());
+        } else {
+          (void)var.load(tracker, ctx);
+        }
+        rt.poll(ctx);
+        std::this_thread::yield();
+      }
+      rt.unregister_thread(ctx);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(var.meta().load_state().is_optimistic());
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,203 @@
+// Unit tests for the common utility layer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/flat_set.hpp"
+#include "common/mpsc_queue.hpp"
+#include "common/spin.hpp"
+#include "common/stats.hpp"
+#include "common/xorshift.hpp"
+
+namespace ht {
+namespace {
+
+// --- RunStats ---------------------------------------------------------------
+
+TEST(RunStats, MedianOddEven) {
+  RunStats s;
+  s.add(3.0);
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(RunStats, MeanAndStddev) {
+  RunStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_GT(s.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunStats, SingleSampleHasZeroCi) {
+  RunStats s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(GeomeanOverhead, MatchesHandComputation) {
+  // (1.10 * 1.21)^(1/2) - 1 = 0.1537...
+  EXPECT_NEAR(geomean_overhead({0.10, 0.21}), 0.15372, 1e-4);
+  EXPECT_NEAR(geomean_overhead({0.0, 0.0}), 0.0, 1e-12);
+  // Speedups (negative overhead) participate correctly.
+  EXPECT_LT(geomean_overhead({-0.5, 0.0}), 0.0);
+}
+
+TEST(FormatSci, SmallIntegersPrintPlainly) {
+  EXPECT_EQ(format_sci(0), "0");
+  EXPECT_EQ(format_sci(7), "7");
+  EXPECT_EQ(format_sci(99), "99");
+}
+
+TEST(FormatSci, LargeValuesUseMantissaExponent) {
+  EXPECT_EQ(format_sci(1.2e10), "1.2e10");
+  EXPECT_EQ(format_sci(6.1e8), "6.1e8");
+  EXPECT_EQ(format_sci(130), "1.3e2");
+}
+
+// --- Log2Histogram ------------------------------------------------------------
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1000);
+  EXPECT_EQ(h.total_weight(), 6u);
+  EXPECT_EQ(h.cumulative_le(0), 1u);
+  EXPECT_EQ(h.cumulative_le(1), 2u);
+  EXPECT_EQ(h.cumulative_le(3), 4u);  // 0,1,{2,3}
+  EXPECT_EQ(h.cumulative_le(4), 5u);
+  EXPECT_EQ(h.cumulative_le(1 << 20), 6u);
+}
+
+TEST(Log2Histogram, WeightsAccumulate) {
+  Log2Histogram h;
+  h.add(5, 10);
+  h.add(6, 20);
+  EXPECT_EQ(h.total_weight(), 30u);
+  EXPECT_EQ(h.cumulative_le(7), 30u);
+}
+
+// --- Xoshiro ---------------------------------------------------------------------
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Xoshiro256 a2(42), c2(43);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= a2.next() != c2.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, NextBelowIsInRange) {
+  Xoshiro256 r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 16ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, ChanceIsRoughlyCalibrated) {
+  Xoshiro256 r(7);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.chance(25, 100) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.02);
+}
+
+// --- FlatPtrSet ---------------------------------------------------------------------
+
+TEST(FlatPtrSet, InsertContainsClear) {
+  FlatPtrSet s;
+  int dummy[100];
+  EXPECT_TRUE(s.empty());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(s.insert(&dummy[i]));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(s.insert(&dummy[i]));
+  EXPECT_EQ(s.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(s.contains(&dummy[i]));
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(s.contains(&dummy[i]));
+}
+
+TEST(FlatPtrSet, GrowsPastInitialCapacity) {
+  FlatPtrSet s(16);
+  std::vector<std::unique_ptr<int>> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    ptrs.push_back(std::make_unique<int>(i));
+    EXPECT_TRUE(s.insert(ptrs.back().get()));
+  }
+  EXPECT_EQ(s.size(), 1000u);
+  for (const auto& p : ptrs) EXPECT_TRUE(s.contains(p.get()));
+}
+
+// --- MpscQueue ------------------------------------------------------------------------
+
+struct Node {
+  Node* next = nullptr;
+  int value = 0;
+};
+
+TEST(MpscQueue, FifoWithinOneProducer) {
+  MpscQueue<Node> q;
+  Node nodes[5];
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].value = i;
+    q.push(&nodes[i]);
+  }
+  Node* head = q.drain();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(head, nullptr);
+    EXPECT_EQ(head->value, i);
+    head = head->next;
+  }
+  EXPECT_EQ(head, nullptr);
+  EXPECT_TRUE(q.empty_relaxed());
+}
+
+TEST(MpscQueue, ConcurrentProducersLoseNothing) {
+  MpscQueue<Node> q;
+  constexpr int kProducers = 4, kPerProducer = 1000;
+  std::vector<std::vector<Node>> nodes(kProducers,
+                                       std::vector<Node>(kPerProducer));
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        nodes[p][i].value = p * kPerProducer + i;
+        q.push(&nodes[p][i]);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::set<int> seen;
+  for (Node* n = q.drain(); n != nullptr; n = n->next) seen.insert(n->value);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+// --- Backoff -------------------------------------------------------------------------
+
+TEST(Backoff, EscalatesToYielding) {
+  Backoff b(3);
+  EXPECT_FALSE(b.yielding());
+  for (int i = 0; i < 10; ++i) b.pause();
+  EXPECT_TRUE(b.yielding());
+  b.reset();
+  EXPECT_FALSE(b.yielding());
+}
+
+}  // namespace
+}  // namespace ht

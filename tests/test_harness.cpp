@@ -1,0 +1,94 @@
+// Harness utilities: overhead math, env knobs, trial statistics.
+#include "workload/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ht {
+namespace {
+
+RunStats stats_of(std::initializer_list<double> xs) {
+  RunStats s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+TEST(OverheadVs, MedianBased) {
+  const RunStats base = stats_of({1.0, 1.0, 1.0});
+  const RunStats cfg = stats_of({1.5, 1.4, 1.6});
+  const Overhead o = overhead_vs(base, cfg);
+  EXPECT_NEAR(o.median_pct, 50.0, 1e-9);
+  EXPECT_NEAR(o.mean_pct, 50.0, 1e-9);
+  EXPECT_GT(o.ci_half_pct, 0.0);
+}
+
+TEST(OverheadVs, SpeedupIsNegative) {
+  const RunStats base = stats_of({2.0});
+  const RunStats cfg = stats_of({1.0});
+  EXPECT_NEAR(overhead_vs(base, cfg).median_pct, -50.0, 1e-9);
+}
+
+TEST(OverheadVs, OutlierRobustness) {
+  // The paper reports medians exactly because means are outlier-sensitive
+  // (sunflow9's slow trials, §7.5).
+  const RunStats base = stats_of({1.0, 1.0, 1.0});
+  const RunStats cfg = stats_of({1.1, 1.1, 9.0});
+  const Overhead o = overhead_vs(base, cfg);
+  EXPECT_NEAR(o.median_pct, 10.0, 1e-6);
+  EXPECT_GT(o.mean_pct, 200.0);
+}
+
+TEST(TrialsFromEnv, ReadsAndValidates) {
+  unsetenv("HT_TRIALS");
+  EXPECT_EQ(trials_from_env(7), 7);
+  setenv("HT_TRIALS", "12", 1);
+  EXPECT_EQ(trials_from_env(7), 12);
+  setenv("HT_TRIALS", "0", 1);
+  EXPECT_EQ(trials_from_env(7), 7);  // invalid -> fallback
+  setenv("HT_TRIALS", "garbage", 1);
+  EXPECT_EQ(trials_from_env(7), 7);
+  unsetenv("HT_TRIALS");
+}
+
+TEST(ScaleFromEnv, ReadsAndValidates) {
+  unsetenv("HT_SCALE");
+  EXPECT_DOUBLE_EQ(scale_from_env(1.0), 1.0);
+  setenv("HT_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(1.0), 2.5);
+  setenv("HT_SCALE", "-1", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(1.0), 1.0);
+  unsetenv("HT_SCALE");
+}
+
+TEST(RunTrials, CollectsOneSamplePerTrialAfterDiscard) {
+  int calls = 0;
+  const RunStats s = run_trials(4, [&] {
+    WorkloadRunResult r;
+    r.seconds = ++calls * 0.5;
+    return r;
+  });
+  // One discarded warm-up call plus four timed trials.
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(s.count(), 4u);
+  // Samples are calls 2..5 -> 1.0, 1.5, 2.0, 2.5.
+  EXPECT_DOUBLE_EQ(s.median(), 1.75);
+}
+
+TEST(RunTrials, DiscardZeroKeepsEveryCall) {
+  int calls = 0;
+  const RunStats s = run_trials(
+      2,
+      [&] {
+        WorkloadRunResult r;
+        r.seconds = ++calls * 1.0;
+        return r;
+      },
+      /*discard=*/0);
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(s.median(), 1.5);
+  (void)s;
+}
+
+}  // namespace
+}  // namespace ht

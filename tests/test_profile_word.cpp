@@ -1,0 +1,101 @@
+// Unit tests for the adaptive-policy profile word: field round trips,
+// saturation (counters must never wrap into neighbors), and the atomic
+// update helper.
+#include "metadata/profile_word.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ht {
+namespace {
+
+TEST(ProfileWord, StartsZeroed) {
+  ProfileWord p;
+  EXPECT_EQ(p.opt_conflicts(), 0u);
+  EXPECT_EQ(p.pess_non_confl(), 0u);
+  EXPECT_EQ(p.pess_confl(), 0u);
+  EXPECT_FALSE(p.was_pess());
+  EXPECT_FALSE(p.must_stay_opt());
+  EXPECT_EQ(p.contended(), 0u);
+}
+
+TEST(ProfileWord, IncrementsAreIndependent) {
+  ProfileWord p;
+  p = p.with_opt_conflict_inc().with_opt_conflict_inc();
+  p = p.with_pess_non_confl_inc();
+  p = p.with_pess_confl_inc().with_pess_confl_inc().with_pess_confl_inc();
+  p = p.with_contended_inc();
+  EXPECT_EQ(p.opt_conflicts(), 2u);
+  EXPECT_EQ(p.pess_non_confl(), 1u);
+  EXPECT_EQ(p.pess_confl(), 3u);
+  EXPECT_EQ(p.contended(), 1u);
+  EXPECT_FALSE(p.was_pess());
+}
+
+TEST(ProfileWord, FlagsSetIndependently) {
+  ProfileWord p;
+  p = p.with_was_pess();
+  EXPECT_TRUE(p.was_pess());
+  EXPECT_FALSE(p.must_stay_opt());
+  p = p.with_must_stay_opt();
+  EXPECT_TRUE(p.must_stay_opt());
+  EXPECT_TRUE(p.was_pess());
+  EXPECT_EQ(p.opt_conflicts(), 0u);
+}
+
+TEST(ProfileWord, CountersSaturateWithoutBleeding) {
+  ProfileWord p;
+  for (int i = 0; i < 70000; ++i) p = p.with_opt_conflict_inc();
+  EXPECT_EQ(p.opt_conflicts(), 0xFFFFu);
+  EXPECT_EQ(p.pess_non_confl(), 0u);  // no overflow into the neighbor field
+  for (int i = 0; i < 70000; ++i) p = p.with_pess_confl_inc();
+  EXPECT_EQ(p.pess_confl(), 0xFFFFu);
+  EXPECT_FALSE(p.was_pess());
+  for (int i = 0; i < 100; ++i) p = p.with_contended_inc();
+  EXPECT_EQ(p.contended(), 0x3Fu);
+  EXPECT_FALSE(p.was_pess());
+  EXPECT_FALSE(p.must_stay_opt());
+}
+
+TEST(ProfileWord, PessCountersClearedKeepsFlagsAndOptCount) {
+  ProfileWord p;
+  p = p.with_opt_conflict_inc().with_pess_confl_inc().with_pess_non_confl_inc();
+  p = p.with_contended_inc().with_was_pess().with_must_stay_opt();
+  p = p.with_pess_counters_cleared();
+  EXPECT_EQ(p.opt_conflicts(), 1u);
+  EXPECT_EQ(p.pess_non_confl(), 0u);
+  EXPECT_EQ(p.pess_confl(), 0u);
+  EXPECT_EQ(p.contended(), 0u);
+  EXPECT_TRUE(p.was_pess());
+  EXPECT_TRUE(p.must_stay_opt());
+}
+
+TEST(AtomicProfile, UpdateAppliesFunction) {
+  AtomicProfile ap;
+  ap.update([](ProfileWord w) { return w.with_opt_conflict_inc(); });
+  ap.update([](ProfileWord w) { return w.with_opt_conflict_inc(); });
+  EXPECT_EQ(ap.load().opt_conflicts(), 2u);
+  ap.reset();
+  EXPECT_EQ(ap.load().opt_conflicts(), 0u);
+}
+
+TEST(AtomicProfile, ConcurrentUpdatesLoseNothing) {
+  AtomicProfile ap;
+  constexpr int kThreads = 4, kPer = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) {
+        ap.update([](ProfileWord w) { return w.with_pess_non_confl_inc(); });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(ap.load().pess_non_confl(),
+            static_cast<std::uint32_t>(kThreads * kPer));
+}
+
+}  // namespace
+}  // namespace ht

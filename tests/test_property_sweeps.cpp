@@ -1,0 +1,169 @@
+// Property sweeps (parameterized): after any workload run, under any
+// tracker and any conflict mix, the metadata must be quiescent — no locked
+// states, no Int states, empty lock buffers — and the access counts must be
+// conserved. These invariants catch lost unlocks, leaked intermediate
+// states, and buffer/readset desynchronization across a wide configuration
+// space.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/ideal_tracker.hpp"
+#include "tracking/optimistic_tracker.hpp"
+#include "tracking/pessimistic_tracker.hpp"
+#include "workload/apis.hpp"
+#include "workload/workload.hpp"
+
+namespace ht {
+namespace {
+
+enum class TrackerKind { kPessimistic, kOptimistic, kHybrid, kHybridInf,
+                         kHybridEscape, kHybridPrototype, kIdeal };
+
+struct SweepCase {
+  const char* label;
+  TrackerKind tracker;
+  int threads;
+  std::uint32_t hotsync_p100k;
+  std::uint32_t hotracy_p100k;
+  std::uint32_t hotglobal_p100k;
+};
+
+WorkloadConfig sweep_config(const SweepCase& c) {
+  WorkloadConfig cfg;
+  cfg.name = c.label;
+  cfg.threads = c.threads;
+  cfg.ops_per_thread = 6'000;
+  cfg.readshare_p100k = 8'000;
+  cfg.sharedgen_p100k = 500;
+  cfg.readshare_write_pct = 1;
+  cfg.hotsync_p100k = c.hotsync_p100k;
+  cfg.hotracy_p100k = c.hotracy_p100k;
+  cfg.hotglobal_p100k = c.hotglobal_p100k;
+  cfg.hot_objects = 8;
+  cfg.yield_every_regions = 16;
+  return cfg;
+}
+
+void check_quiescent(WorkloadData& data, bool pessimistic_alone) {
+  data.for_each_meta([&](ObjectMeta& m) {
+    const StateWord s = m.load_state();
+    if (pessimistic_alone) {
+      EXPECT_NE(s.kind(), StateKind::kPessLockedSentinel) << s.to_string();
+      EXPECT_TRUE(s.is_pess_unlocked()) << s.to_string();
+    } else {
+      EXPECT_FALSE(s.is_pess_locked()) << s.to_string();
+      EXPECT_FALSE(s.is_intermediate()) << s.to_string();
+      EXPECT_NE(s.kind(), StateKind::kPessLockedSentinel) << s.to_string();
+    }
+  });
+}
+
+class QuiescenceSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(QuiescenceSweep, MetadataQuiescentAndAccessesConserved) {
+  const SweepCase& c = GetParam();
+  const WorkloadConfig cfg = sweep_config(c);
+  WorkloadData data(cfg);
+  const std::uint64_t expected_accesses =
+      cfg.ops_per_thread * static_cast<std::uint64_t>(cfg.threads);
+
+  Runtime rt;
+  TransitionStats stats;
+  bool pessimistic_alone = false;
+
+  switch (c.tracker) {
+    case TrackerKind::kPessimistic: {
+      pessimistic_alone = true;
+      PessimisticTracker<true> trk(rt);
+      stats = run_workload(cfg, data, [&](ThreadId) {
+                return DirectApi<PessimisticTracker<true>>(rt, trk);
+              }).stats;
+      break;
+    }
+    case TrackerKind::kOptimistic: {
+      OptimisticTracker<true> trk(rt);
+      stats = run_workload(cfg, data, [&](ThreadId) {
+                return DirectApi<OptimisticTracker<true>>(rt, trk);
+              }).stats;
+      break;
+    }
+    case TrackerKind::kIdeal: {
+      IdealTracker<true> trk(rt);
+      stats = run_workload(cfg, data, [&](ThreadId) {
+                return DirectApi<IdealTracker<true>>(rt, trk);
+              }).stats;
+      break;
+    }
+    default: {
+      HybridConfig hc;
+      if (c.tracker == TrackerKind::kHybridInf)
+        hc.policy = PolicyConfig::infinite();
+      if (c.tracker == TrackerKind::kHybridEscape)
+        hc.policy = PolicyConfig::with_escape(6);
+      if (c.tracker == TrackerKind::kHybridPrototype)
+        hc.wr_ex_read_mode = WrExReadMode::kOmitWrExRLock;
+      HybridTracker<true> trk(rt, hc);
+      stats = run_workload(cfg, data, [&](ThreadId) {
+                return DirectApi<HybridTracker<true>>(rt, trk);
+              }).stats;
+      break;
+    }
+  }
+
+  EXPECT_EQ(stats.accesses(), expected_accesses);
+  check_quiescent(data, pessimistic_alone);
+
+  if (c.tracker == TrackerKind::kHybridInf) {
+    // Infinite cutoff: pessimistic states must never appear.
+    EXPECT_EQ(stats.opt_to_pess, 0u);
+    EXPECT_EQ(stats.pess_total(), 0u);
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const TrackerKind kinds[] = {
+      TrackerKind::kPessimistic,   TrackerKind::kOptimistic,
+      TrackerKind::kHybrid,        TrackerKind::kHybridInf,
+      TrackerKind::kHybridEscape,  TrackerKind::kHybridPrototype,
+      TrackerKind::kIdeal};
+  const char* kind_names[] = {"pess", "opt", "hyb", "hybinf", "hybesc",
+                              "hybproto", "ideal"};
+  struct Mix {
+    const char* name;
+    std::uint32_t sync, racy, global;
+  };
+  const Mix mixes[] = {{"quiet", 0, 0, 0},
+                       {"sync", 2000, 0, 0},
+                       {"racy", 0, 1000, 0},
+                       {"mixed", 1000, 500, 300}};
+  // Stable label storage: std::deque never relocates elements, so the
+  // c_str() pointers stored in SweepCase stay valid for the process
+  // lifetime.
+  static std::deque<std::string> labels;
+  int ki = 0;
+  for (TrackerKind k : kinds) {
+    for (const Mix& m : mixes) {
+      for (int threads : {2, 4}) {
+        labels.push_back(std::string(kind_names[ki]) + "_" + m.name + "_t" +
+                         std::to_string(threads));
+        cases.push_back(
+            SweepCase{labels.back().c_str(), k, threads, m.sync, m.racy,
+                      m.global});
+      }
+    }
+    ++ki;
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, QuiescenceSweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const ::testing::TestParamInfo<SweepCase>& info) {
+                           return std::string(info.param.label);
+                         });
+
+}  // namespace
+}  // namespace ht

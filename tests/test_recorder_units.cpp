@@ -1,0 +1,195 @@
+// Unit tests for the recorder/replayer data structures and mechanics,
+// complementing the end-to-end value-determinism tests.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "recorder/dependence_log.hpp"
+#include "recorder/recorder.hpp"
+#include "recorder/replayer.hpp"
+#include "test_util.hpp"
+#include "tracking/optimistic_tracker.hpp"
+#include "tracking/tracked_var.hpp"
+
+namespace ht {
+namespace {
+
+TEST(ThreadLog, CountsEdgeAndResponseEvents) {
+  ThreadLog log;
+  log.events.push_back({1, LogEventType::kEdge, 0, 5});
+  log.events.push_back({2, LogEventType::kResponse, kNoThread, 0});
+  log.events.push_back({2, LogEventType::kEdge, 1, 9});
+  EXPECT_EQ(log.edge_count(), 2u);
+  EXPECT_EQ(log.response_count(), 1u);
+}
+
+TEST(Recording, SummaryAggregates) {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[0].events.push_back({1, LogEventType::kEdge, 1, 5});
+  r.threads[1].events.push_back({3, LogEventType::kResponse, kNoThread, 0});
+  EXPECT_EQ(r.total_edges(), 1u);
+  EXPECT_EQ(r.total_responses(), 1u);
+  EXPECT_NE(r.summary().find("2 threads"), std::string::npos);
+}
+
+TEST(DependenceRecorder, EdgeRecordsPointIndexAndSource) {
+  Runtime rt;
+  DependenceRecorder rec(rt);
+  ThreadContext& ctx = rt.register_thread();
+  ctx.point_index = 42;
+  rec.edge(ctx, 3, 1234);
+  const ThreadLog& log = rec.log(ctx.id);
+  ASSERT_EQ(log.events.size(), 1u);
+  EXPECT_EQ(log.events[0].point, 42u);
+  EXPECT_EQ(log.events[0].type, LogEventType::kEdge);
+  EXPECT_EQ(log.events[0].src, 3u);
+  EXPECT_EQ(log.events[0].value, 1234u);
+}
+
+TEST(DependenceRecorder, EdgeAllOthersFansOutToEveryRegisteredThread) {
+  Runtime rt;
+  DependenceRecorder rec(rt);
+  ThreadContext& a = rt.register_thread();
+  ThreadContext& b = rt.register_thread();
+  ThreadContext& c = rt.register_thread();
+  b.owner_side.release_counter.store(7, std::memory_order_relaxed);
+  c.owner_side.release_counter.store(9, std::memory_order_relaxed);
+  rec.edge_all_others(a, rt);
+  const ThreadLog& log = rec.log(a.id);
+  ASSERT_EQ(log.events.size(), 2u);
+  EXPECT_EQ(log.events[0].src, b.id);
+  EXPECT_EQ(log.events[0].value, 7u);
+  EXPECT_EQ(log.events[1].src, c.id);
+  EXPECT_EQ(log.events[1].value, 9u);
+}
+
+TEST(DependenceRecorder, ResponseHookLogsNondeterministicBumps) {
+  Runtime rt;
+  DependenceRecorder rec(rt);
+  ThreadContext& owner = rt.register_thread();
+  ThreadContext& requester = rt.register_thread();
+  rec.attach_thread(owner);
+  owner.point_index = 10;
+
+  std::atomic<bool> done{false};
+  std::thread req([&] {
+    (void)rt.coordinate(requester, owner.id);
+    done.store(true);
+  });
+  while (!done.load()) {
+    rt.poll(owner);
+    std::this_thread::yield();
+  }
+  req.join();
+  const ThreadLog& log = rec.log(owner.id);
+  ASSERT_GE(log.events.size(), 1u);
+  EXPECT_EQ(log.events[0].type, LogEventType::kResponse);
+  // The response lands at whichever poll first saw the request; polls bump
+  // the point index first, so the point is strictly past the starting 10.
+  EXPECT_GT(log.events[0].point, 10u);
+}
+
+TEST(DependenceRecorder, PsroBumpsAreNotLogged) {
+  Runtime rt;
+  DependenceRecorder rec(rt);
+  ThreadContext& ctx = rt.register_thread();
+  rec.attach_thread(ctx);
+  rt.psro(ctx);
+  rt.psro(ctx);
+  EXPECT_TRUE(rec.log(ctx.id).events.empty());
+}
+
+TEST(DependenceRecorder, TakeRecordingResetsLogs) {
+  Runtime rt;
+  DependenceRecorder rec(rt);
+  ThreadContext& ctx = rt.register_thread();
+  rec.edge(ctx, 0, 1);
+  const Recording r = rec.take_recording(1);
+  EXPECT_EQ(r.total_edges(), 1u);
+  EXPECT_TRUE(rec.log(0).events.empty());
+}
+
+// --- Replayer ----------------------------------------------------------------
+
+Recording two_thread_recording() {
+  Recording r;
+  r.threads.resize(2);
+  return r;
+}
+
+TEST(Replayer, AppliesResponseBumpsAtRecordedPoints) {
+  Recording r = two_thread_recording();
+  r.threads[0].events.push_back({3, LogEventType::kResponse, kNoThread, 0});
+  Replayer rp(r);
+  rp.at_point(0);  // 1
+  rp.at_point(0);  // 2
+  EXPECT_EQ(rp.release_counter(0), 0u);
+  rp.at_point(0);  // 3: logged bump fires
+  EXPECT_EQ(rp.release_counter(0), 1u);
+}
+
+TEST(Replayer, PsroBumpsAreDeterministic) {
+  Recording r = two_thread_recording();
+  Replayer rp(r);
+  rp.at_psro(0);
+  rp.at_psro(0);
+  EXPECT_EQ(rp.release_counter(0), 2u);
+}
+
+TEST(Replayer, ThreadEndBumpMirrorsUnregister) {
+  Recording r = two_thread_recording();
+  Replayer rp(r);
+  rp.at_thread_end(1);
+  EXPECT_EQ(rp.release_counter(1), 1u);
+}
+
+TEST(Replayer, EdgeBlocksUntilSourceReachesValue) {
+  Recording r = two_thread_recording();
+  r.threads[0].events.push_back({1, LogEventType::kEdge, 1, 2});
+  Replayer rp(r);
+
+  std::atomic<bool> passed{false};
+  std::thread sink([&] {
+    rp.at_point(0);  // blocks until thread 1's counter reaches 2
+    passed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(passed.load());
+  rp.at_psro(1);
+  EXPECT_FALSE(passed.load());
+  rp.at_psro(1);  // counter reaches 2
+  sink.join();
+  EXPECT_TRUE(passed.load());
+  EXPECT_GE(rp.blocking_waits(), 1u);
+}
+
+TEST(Replayer, SatisfiedEdgeDoesNotBlock) {
+  Recording r = two_thread_recording();
+  r.threads[0].events.push_back({1, LogEventType::kEdge, 1, 1});
+  Replayer rp(r);
+  rp.at_psro(1);
+  rp.at_point(0);  // already satisfied
+  EXPECT_EQ(rp.blocking_waits(), 0u);
+}
+
+TEST(Replayer, MultipleEventsAtOnePointApplyInLogOrder) {
+  Recording r = two_thread_recording();
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 0});
+  r.threads[0].events.push_back({1, LogEventType::kEdge, 1, 1});
+  r.threads[1].events.push_back({1, LogEventType::kEdge, 0, 1});
+  Replayer rp(r);
+  // Thread 1 waits for thread 0's counter >= 1, which the kResponse at
+  // thread 0's point 1 provides — and thread 0 then waits for thread 1.
+  std::thread t0([&] { rp.at_point(0); });
+  std::thread t1([&] {
+    rp.at_point(1);
+    rp.at_psro(1);  // satisfies thread 0's edge (value 1)
+  });
+  t0.join();
+  t1.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ht

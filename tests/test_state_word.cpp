@@ -1,0 +1,110 @@
+// Unit tests for the state-word encoding: every kind round-trips its payload
+// and the predicates partition the kinds exactly as §3.2 defines.
+#include "metadata/state_word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+TEST(StateWord, ExclusiveStatesRoundTripTid) {
+  for (ThreadId t : {ThreadId{0}, ThreadId{1}, ThreadId{63}, ThreadId{4000}}) {
+    EXPECT_EQ(StateWord::wr_ex_opt(t).tid(), t);
+    EXPECT_EQ(StateWord::rd_ex_opt(t).tid(), t);
+    EXPECT_EQ(StateWord::wr_ex_pess(t).tid(), t);
+    EXPECT_EQ(StateWord::rd_ex_pess(t).tid(), t);
+    EXPECT_EQ(StateWord::wr_ex_wlock(t).tid(), t);
+    EXPECT_EQ(StateWord::wr_ex_rlock(t).tid(), t);
+    EXPECT_EQ(StateWord::rd_ex_rlock(t).tid(), t);
+    EXPECT_EQ(StateWord::intermediate(t).tid(), t);
+  }
+}
+
+TEST(StateWord, RdShStatesRoundTripCounterAndHolders) {
+  for (std::uint32_t c : {0u, 1u, 77u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(StateWord::rd_sh_opt(c).counter(), c);
+    EXPECT_EQ(StateWord::rd_sh_pess(c).counter(), c);
+    for (std::uint32_t n : {1u, 2u, 4095u}) {
+      const StateWord s = StateWord::rd_sh_rlock(c, n);
+      EXPECT_EQ(s.counter(), c);
+      EXPECT_EQ(s.rdlock_count(), n);
+      EXPECT_EQ(s.kind(), StateKind::kRdShRLock);
+    }
+  }
+}
+
+TEST(StateWord, KindsAreDistinctAndRecoverable) {
+  const StateWord words[] = {
+      StateWord::wr_ex_opt(5),      StateWord::rd_ex_opt(5),
+      StateWord::rd_sh_opt(9),      StateWord::wr_ex_pess(5),
+      StateWord::rd_ex_pess(5),     StateWord::rd_sh_pess(9),
+      StateWord::wr_ex_wlock(5),    StateWord::wr_ex_rlock(5),
+      StateWord::rd_ex_rlock(5),    StateWord::rd_sh_rlock(9, 2),
+      StateWord::intermediate(5),   StateWord::pess_locked_sentinel(5),
+  };
+  for (std::size_t i = 0; i < std::size(words); ++i) {
+    for (std::size_t j = i + 1; j < std::size(words); ++j) {
+      EXPECT_NE(words[i].raw(), words[j].raw()) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(StateWord, PredicatesPartitionTheModel) {
+  const StateWord opt[] = {StateWord::wr_ex_opt(1), StateWord::rd_ex_opt(1),
+                           StateWord::rd_sh_opt(3)};
+  const StateWord unlocked[] = {StateWord::wr_ex_pess(1),
+                                StateWord::rd_ex_pess(1),
+                                StateWord::rd_sh_pess(3)};
+  const StateWord locked[] = {
+      StateWord::wr_ex_wlock(1), StateWord::wr_ex_rlock(1),
+      StateWord::rd_ex_rlock(1), StateWord::rd_sh_rlock(3, 1)};
+
+  for (const auto& s : opt) {
+    EXPECT_TRUE(s.is_optimistic());
+    EXPECT_FALSE(s.is_pessimistic());
+    EXPECT_FALSE(s.is_intermediate());
+  }
+  for (const auto& s : unlocked) {
+    EXPECT_TRUE(s.is_pess_unlocked());
+    EXPECT_TRUE(s.is_pessimistic());
+    EXPECT_FALSE(s.is_pess_locked());
+    EXPECT_FALSE(s.is_optimistic());
+  }
+  for (const auto& s : locked) {
+    EXPECT_TRUE(s.is_pess_locked());
+    EXPECT_TRUE(s.is_pessimistic());
+    EXPECT_FALSE(s.is_pess_unlocked());
+    EXPECT_FALSE(s.is_optimistic());
+  }
+  EXPECT_TRUE(StateWord::intermediate(7).is_intermediate());
+  EXPECT_FALSE(StateWord::intermediate(7).is_optimistic());
+  EXPECT_FALSE(StateWord::intermediate(7).is_pessimistic());
+}
+
+TEST(StateWord, AccessClassifiers) {
+  EXPECT_TRUE(StateWord::wr_ex_opt(1).is_wr_ex());
+  EXPECT_TRUE(StateWord::wr_ex_wlock(1).is_wr_ex());
+  EXPECT_TRUE(StateWord::wr_ex_rlock(1).is_wr_ex());
+  EXPECT_TRUE(StateWord::rd_ex_opt(1).is_rd_ex());
+  EXPECT_TRUE(StateWord::rd_ex_rlock(1).is_rd_ex());
+  EXPECT_TRUE(StateWord::rd_sh_opt(1).is_rd_sh());
+  EXPECT_TRUE(StateWord::rd_sh_rlock(1, 1).is_rd_sh());
+  EXPECT_FALSE(StateWord::rd_sh_opt(1).has_owner());
+  EXPECT_TRUE(StateWord::wr_ex_opt(1).has_owner());
+}
+
+TEST(StateWord, PermitsReadBy) {
+  EXPECT_TRUE(StateWord::wr_ex_opt(3).permits_read_by(3));
+  EXPECT_FALSE(StateWord::wr_ex_opt(3).permits_read_by(4));
+  EXPECT_TRUE(StateWord::rd_sh_opt(9).permits_read_by(4));
+  EXPECT_FALSE(StateWord::intermediate(3).permits_read_by(3));
+}
+
+TEST(StateWord, ToStringNamesEveryKind) {
+  EXPECT_EQ(StateWord::wr_ex_opt(3).to_string(), "WrExOpt(T3)");
+  EXPECT_EQ(StateWord::rd_sh_rlock(7, 2).to_string(), "RdShRLock(c=7,n=2)");
+  EXPECT_EQ(StateWord::rd_sh_pess(1).to_string(), "RdShPess(c=1)");
+}
+
+}  // namespace
+}  // namespace ht

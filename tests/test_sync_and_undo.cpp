@@ -1,0 +1,178 @@
+// Program synchronization primitives (PSRO semantics, blocking safe points)
+// and the enforcer's undo log.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "enforcer/region.hpp"
+#include "runtime/sync.hpp"
+#include "test_util.hpp"
+#include "tracking/tracked_var.hpp"
+#include "tracking/null_tracker.hpp"
+
+namespace ht {
+namespace {
+
+TEST(ProgramLock, ReleaseIsAPsro) {
+  Runtime rt;
+  ThreadContext& ctx = rt.register_thread();
+  ProgramLock l;
+  l.acquire(ctx);
+  const std::uint64_t before = ctx.release_counter_relaxed();
+  l.release(ctx);
+  EXPECT_EQ(ctx.release_counter_relaxed(), before + 1);
+  EXPECT_EQ(ctx.stats.psros, 1u);
+}
+
+TEST(ProgramLock, UncontendedAcquireDoesNotBlock) {
+  Runtime rt;
+  ThreadContext& ctx = rt.register_thread();
+  ProgramLock l;
+  l.acquire(ctx);
+  EXPECT_FALSE(ThreadStatus::is_blocked(
+      ctx.owner_side.status.load(std::memory_order_relaxed)));
+  l.release(ctx);
+}
+
+TEST(ProgramLock, ContendedAcquireParksBlocked) {
+  Runtime rt;
+  ProgramLock l;
+  ThreadContext& holder = rt.register_thread();
+  l.acquire(holder);
+
+  std::atomic<bool> waiter_blocked{false};
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    ThreadContext& ctx = rt.register_thread();
+    l.acquire(ctx);  // blocks; begin_blocking publishes BLOCKED first
+    l.release(ctx);
+    done.store(true);
+  });
+  // Observe the waiter actually parking (status of thread id 1).
+  while (!waiter_blocked.load() && !done.load()) {
+    if (rt.registry().high_water() >= 2) {
+      const auto s = rt.registry().context(1).owner_side.status.load(
+          std::memory_order_acquire);
+      if (ThreadStatus::is_blocked(s)) waiter_blocked.store(true);
+    }
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(waiter_blocked.load());
+  l.release(holder);
+  waiter.join();
+  EXPECT_TRUE(done.load());
+  // After waking, the waiter must be RUNNING again (it released and exited).
+  EXPECT_FALSE(ThreadStatus::is_blocked(
+      rt.registry().context(1).owner_side.status.load(
+          std::memory_order_acquire)));
+}
+
+TEST(ProgramLock, ScopeIsRaii) {
+  Runtime rt;
+  ThreadContext& ctx = rt.register_thread();
+  ProgramLock l;
+  {
+    ProgramLock::Scope s(l, ctx);
+  }
+  EXPECT_EQ(ctx.stats.psros, 1u);
+  l.acquire(ctx);  // not deadlocked: the scope released
+  l.release(ctx);
+}
+
+TEST(ProgramBarrier, RendezvousAndPsro) {
+  Runtime rt;
+  ProgramBarrier barrier(3);
+  std::atomic<int> passed{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 3; ++i) {
+    ts.emplace_back([&] {
+      ThreadContext& ctx = rt.register_thread();
+      barrier.arrive_and_wait(ctx);
+      passed.fetch_add(1);
+      EXPECT_GE(ctx.stats.psros, 1u);
+      rt.unregister_thread(ctx);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(passed.load(), 3);
+}
+
+TEST(UndoLog, RollbackRestoresInReverseOrder) {
+  UndoLog log;
+  std::atomic<std::uint64_t> a{1}, b{2};
+  auto restore = [](void* addr, std::uint64_t bits) {
+    static_cast<std::atomic<std::uint64_t>*>(addr)->store(
+        bits, std::memory_order_relaxed);
+  };
+  log.push(&a, a.load(), restore);
+  a.store(10);
+  log.push(&b, b.load(), restore);
+  b.store(20);
+  log.push(&a, a.load(), restore);  // second write to a
+  a.store(100);
+  log.rollback();
+  EXPECT_EQ(a.load(), 1u);  // earliest old value wins
+  EXPECT_EQ(b.load(), 2u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(UndoLog, CommitDiscardsEntries) {
+  UndoLog log;
+  std::atomic<std::uint64_t> a{1};
+  log.push(&a, 1,
+           [](void* addr, std::uint64_t bits) {
+             static_cast<std::atomic<std::uint64_t>*>(addr)->store(bits);
+           });
+  a.store(5);
+  log.commit();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(a.load(), 5u);
+}
+
+TEST(TrackedVar, StoreLogsUndoOnlyInsideRegions) {
+  Runtime rt;
+  NullTracker tracker(rt);
+  ThreadContext& ctx = rt.register_thread();
+  TrackedVar<std::uint64_t> v;
+  v.init(tracker, ctx, 42);
+
+  UndoLog log;
+  v.store(tracker, ctx, 1);  // no region: no undo entry
+  EXPECT_TRUE(log.empty());
+
+  ctx.undo_log = &log;
+  v.store(tracker, ctx, 2);
+  EXPECT_EQ(log.size(), 1u);
+  ctx.undo_log = nullptr;
+
+  log.rollback();
+  EXPECT_EQ(v.load(tracker, ctx), 1u);  // back to the pre-region value
+}
+
+TEST(TrackedVar, RawAccessBypassesTracking) {
+  Runtime rt;
+  NullTracker tracker(rt);
+  ThreadContext& ctx = rt.register_thread();
+  TrackedVar<std::uint64_t> v;
+  v.init(tracker, ctx, 3);
+  const std::uint64_t points_before = ctx.point_index;
+  EXPECT_EQ(v.raw_load(), 3u);
+  v.raw_store(4);
+  EXPECT_EQ(v.raw_load(), 4u);
+  EXPECT_EQ(ctx.point_index, points_before);  // raw access: no point bump
+}
+
+TEST(TrackedVar, TrackedAccessesAdvancePointIndex) {
+  Runtime rt;
+  NullTracker tracker(rt);
+  ThreadContext& ctx = rt.register_thread();
+  TrackedVar<std::uint64_t> v;
+  v.init(tracker, ctx, 0);
+  const std::uint64_t p0 = ctx.point_index;
+  (void)v.load(tracker, ctx);
+  v.store(tracker, ctx, 1);
+  EXPECT_EQ(ctx.point_index, p0 + 2);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,239 @@
+// Exhaustive Table 3 transition matrix: for every (old state, access,
+// thread) combination the hybrid model defines, set the object's metadata to
+// the old state, perform one access, and check the new state — a direct
+// transcription of the paper's Appendix B table.
+//
+// Conventions: T0 is "T" / "T1" (the state's owner where applicable), T1 is
+// "T2" (the other thread). Contended rows and optimistic conflicting rows
+// need a cooperating owner and are covered by test_hybrid_tracker.cpp; this
+// file covers every row resolvable without coordination, which is exactly
+// the set Table 3 marks CAS/None.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/tracked_var.hpp"
+
+namespace ht {
+namespace {
+
+enum class Access { kRead, kWrite };
+
+struct Row {
+  const char* name;
+  // old state built from (kind, owner-is-self?, c, n) at runtime
+  StateKind old_kind;
+  bool owner_is_actor;  // for owner-bearing states
+  std::uint32_t n;      // RdShRLock holder count
+  Access access;
+  StateKind new_kind;
+  bool new_owner_is_actor;  // for owner-bearing new states
+  std::uint32_t new_n;      // expected holder count (RdShRLock)
+  bool actor_prelocked;     // actor already holds a read lock (in rd_set)
+};
+
+class Table3MatrixTest : public ::testing::TestWithParam<Row> {};
+
+TEST_P(Table3MatrixTest, TransitionMatchesTable) {
+  const Row& row = GetParam();
+  Runtime rt;
+  HybridTracker<true> tracker(rt, HybridConfig{});
+  ThreadContext& actor = rt.register_thread();   // T (id 0)
+  ThreadContext& other = rt.register_thread();   // T1/T2 counterpart (id 1)
+  tracker.attach_thread(actor);
+  tracker.attach_thread(other);
+
+  TrackedVar<std::uint64_t> var;
+  var.init(tracker, actor, 0);
+
+  const ThreadId owner_id = row.owner_is_actor ? actor.id : other.id;
+  const std::uint32_t c = 17;  // arbitrary read-share epoch
+  StateWord old_state;
+  switch (row.old_kind) {
+    case StateKind::kWrExOpt: old_state = StateWord::wr_ex_opt(owner_id); break;
+    case StateKind::kRdExOpt: old_state = StateWord::rd_ex_opt(owner_id); break;
+    case StateKind::kRdShOpt: old_state = StateWord::rd_sh_opt(c); break;
+    case StateKind::kWrExPess: old_state = StateWord::wr_ex_pess(owner_id); break;
+    case StateKind::kRdExPess: old_state = StateWord::rd_ex_pess(owner_id); break;
+    case StateKind::kRdShPess: old_state = StateWord::rd_sh_pess(c); break;
+    case StateKind::kWrExWLock: old_state = StateWord::wr_ex_wlock(owner_id); break;
+    case StateKind::kWrExRLock: old_state = StateWord::wr_ex_rlock(owner_id); break;
+    case StateKind::kRdExRLock: old_state = StateWord::rd_ex_rlock(owner_id); break;
+    case StateKind::kRdShRLock:
+      old_state = StateWord::rd_sh_rlock(c, row.n);
+      break;
+    default: FAIL() << "unsupported old state";
+  }
+  var.meta().reset(old_state);
+  if (row.actor_prelocked) {
+    actor.rd_set.insert(&var.meta());
+    actor.lock_buffer.push_back(&var.meta());
+  }
+  // Reading RdSh states without a fence transition requires an up-to-date
+  // per-thread counter; give the actor one for same-state rows.
+  actor.rd_sh_count = c;
+
+  if (row.access == Access::kRead) {
+    (void)var.load(tracker, actor);
+  } else {
+    var.store(tracker, actor, 1);
+  }
+
+  const StateWord got = var.meta().load_state();
+  EXPECT_EQ(got.kind(), row.new_kind)
+      << row.name << ": got " << got.to_string();
+  if (got.has_owner() && row.new_kind != StateKind::kRdShRLock) {
+    EXPECT_EQ(got.tid(), row.new_owner_is_actor ? actor.id : other.id)
+        << row.name;
+  }
+  if (row.new_kind == StateKind::kRdShRLock) {
+    EXPECT_EQ(got.rdlock_count(), row.new_n) << row.name;
+  }
+  // Every locked new state must be tracked in the actor's lock buffer
+  // exactly once (unless the old state was already the actor's lock).
+  const StateWord final_state = var.meta().load_state();
+  if (final_state.is_pess_locked()) {
+    int entries = 0;
+    for (ObjectMeta* m : actor.lock_buffer) entries += m == &var.meta() ? 1 : 0;
+    EXPECT_EQ(entries, 1) << row.name << ": lock buffer entries";
+    // Flushing releases exactly the actor's hold. Rows fabricating residual
+    // read locks held by the other thread keep those locks: RdShRLock(n)
+    // drops to n-1 rather than unlocking.
+    tracker.flush(actor);
+    const StateWord after = var.meta().load_state();
+    if (final_state.kind() == StateKind::kRdShRLock &&
+        final_state.rdlock_count() > 1) {
+      ASSERT_EQ(after.kind(), StateKind::kRdShRLock) << row.name;
+      EXPECT_EQ(after.rdlock_count(), final_state.rdlock_count() - 1)
+          << row.name;
+    } else {
+      EXPECT_FALSE(after.is_pess_locked()) << row.name << ": "
+                                           << after.to_string();
+    }
+  }
+}
+
+const Row kRows[] = {
+    // --- reentrant rows (Same, None) ---------------------------------------
+    {"WrExWLock_T W by T", StateKind::kWrExWLock, true, 0, Access::kWrite,
+     StateKind::kWrExWLock, true, 0, true},
+    {"WrExWLock_T R by T", StateKind::kWrExWLock, true, 0, Access::kRead,
+     StateKind::kWrExWLock, true, 0, true},
+    {"WrExRLock_T R by T", StateKind::kWrExRLock, true, 0, Access::kRead,
+     StateKind::kWrExRLock, true, 0, true},
+    {"RdExRLock_T R by T", StateKind::kRdExRLock, true, 0, Access::kRead,
+     StateKind::kRdExRLock, true, 0, true},
+    {"RdShRLock(2) R by T in rdSet", StateKind::kRdShRLock, false, 2,
+     Access::kRead, StateKind::kRdShRLock, false, 2, true},
+
+    // --- pessimistic uncontended (CAS) --------------------------------------
+    {"WrExPess_T W by T", StateKind::kWrExPess, true, 0, Access::kWrite,
+     StateKind::kWrExWLock, true, 0, false},
+    {"WrExPess_T R by T", StateKind::kWrExPess, true, 0, Access::kRead,
+     StateKind::kWrExRLock, true, 0, false},
+    {"RdExPess_T R by T", StateKind::kRdExPess, true, 0, Access::kRead,
+     StateKind::kRdExRLock, true, 0, false},
+    {"RdExPess_T W by T", StateKind::kRdExPess, true, 0, Access::kWrite,
+     StateKind::kWrExWLock, true, 0, false},
+    {"RdExRLock_T W by T", StateKind::kRdExRLock, true, 0, Access::kWrite,
+     StateKind::kWrExWLock, true, 0, true},
+    {"WrExRLock_T W by T", StateKind::kWrExRLock, true, 0, Access::kWrite,
+     StateKind::kWrExWLock, true, 0, true},
+    {"RdExPess_T1 R by T2", StateKind::kRdExPess, false, 0, Access::kRead,
+     StateKind::kRdShRLock, false, 1, false},
+    {"RdExRLock_T1 R by T2", StateKind::kRdExRLock, false, 0, Access::kRead,
+     StateKind::kRdShRLock, false, 2, false},
+    {"WrExRLock_T1 R by T2", StateKind::kWrExRLock, false, 0, Access::kRead,
+     StateKind::kRdShRLock, false, 2, false},
+    {"RdShPess R by T", StateKind::kRdShPess, false, 0, Access::kRead,
+     StateKind::kRdShRLock, false, 1, false},
+    {"RdShRLock(1) R by T not in rdSet", StateKind::kRdShRLock, false, 1,
+     Access::kRead, StateKind::kRdShRLock, false, 2, false},
+    {"WrExPess_T1 W by T2", StateKind::kWrExPess, false, 0, Access::kWrite,
+     StateKind::kWrExWLock, true, 0, false},
+    {"WrExPess_T1 R by T2", StateKind::kWrExPess, false, 0, Access::kRead,
+     StateKind::kRdExRLock, true, 0, false},
+    {"RdExPess_T1 W by T2", StateKind::kRdExPess, false, 0, Access::kWrite,
+     StateKind::kWrExWLock, true, 0, false},
+    {"RdShPess W by T", StateKind::kRdShPess, false, 0, Access::kWrite,
+     StateKind::kWrExWLock, true, 0, false},
+    {"RdShRLock(1) W by sole holder", StateKind::kRdShRLock, false, 1,
+     Access::kWrite, StateKind::kWrExWLock, true, 0, true},
+
+    // --- optimistic same-state / upgrading ----------------------------------
+    {"WrExOpt_T W by T", StateKind::kWrExOpt, true, 0, Access::kWrite,
+     StateKind::kWrExOpt, true, 0, false},
+    {"WrExOpt_T R by T", StateKind::kWrExOpt, true, 0, Access::kRead,
+     StateKind::kWrExOpt, true, 0, false},
+    {"RdExOpt_T R by T", StateKind::kRdExOpt, true, 0, Access::kRead,
+     StateKind::kRdExOpt, true, 0, false},
+    {"RdExOpt_T W by T", StateKind::kRdExOpt, true, 0, Access::kWrite,
+     StateKind::kWrExOpt, true, 0, false},
+    {"RdExOpt_T1 R by T2", StateKind::kRdExOpt, false, 0, Access::kRead,
+     StateKind::kRdShOpt, false, 0, false},
+    {"RdShOpt R by T", StateKind::kRdShOpt, false, 0, Access::kRead,
+     StateKind::kRdShOpt, false, 0, false},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table3MatrixTest, ::testing::ValuesIn(kRows),
+                         [](const ::testing::TestParamInfo<Row>& info) {
+                           std::string s = info.param.name;
+                           for (char& ch : s) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           }
+                           return s;
+                         });
+
+// The * footnote: pessimistic transitions into RdShRLock update the actor's
+// rd_sh_count to max(rd_sh_count, c).
+TEST(Table3Footnotes, RdShJoinUpdatesThreadCounter) {
+  Runtime rt;
+  HybridTracker<> tracker(rt, HybridConfig{});
+  ThreadContext& actor = rt.register_thread();
+  ThreadContext& other = rt.register_thread();
+  tracker.attach_thread(actor);
+  (void)other;
+
+  TrackedVar<std::uint64_t> var;
+  var.init(tracker, actor, 0);
+  var.meta().reset(StateWord::rd_sh_pess(41));
+  actor.rd_sh_count = 7;
+  (void)var.load(tracker, actor);
+  EXPECT_EQ(actor.rd_sh_count, 41u);
+  tracker.flush(actor);
+
+  // ...but a larger thread counter is not regressed.
+  var.meta().reset(StateWord::rd_sh_pess(5));
+  (void)var.load(tracker, actor);
+  EXPECT_EQ(actor.rd_sh_count, 41u);
+  tracker.flush(actor);
+}
+
+// Fresh RdSh formations draw from the monotonically increasing global
+// counter (Table 1 note *), so later epochs always look new to stale readers.
+TEST(Table3Footnotes, FreshRdShEpochsAreMonotonic) {
+  Runtime rt;
+  HybridTracker<> tracker(rt, HybridConfig{});
+  ThreadContext& actor = rt.register_thread();
+  ThreadContext& other = rt.register_thread();
+  tracker.attach_thread(actor);
+  (void)other;
+
+  TrackedVar<std::uint64_t> var;
+  var.init(tracker, actor, 0);
+
+  std::uint32_t last = 0;
+  for (int i = 0; i < 4; ++i) {
+    var.meta().reset(StateWord::rd_ex_pess(other.id));
+    (void)var.load(tracker, actor);  // -> RdShRLock(1)_fresh
+    const StateWord s = var.meta().load_state();
+    ASSERT_EQ(s.kind(), StateKind::kRdShRLock);
+    EXPECT_GT(s.counter(), last);
+    last = s.counter();
+    tracker.flush(actor);
+  }
+}
+
+}  // namespace
+}  // namespace ht

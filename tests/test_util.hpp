@@ -1,0 +1,69 @@
+// Shared test helpers.
+//
+// Many tracker transitions require a remote thread to participate in
+// coordination. For deterministic unit tests we exploit the paper's implicit
+// coordination: a context parked at a blocking safe point responds to every
+// request implicitly, so a single OS thread can drive multi-thread protocol
+// paths by registering extra contexts and blocking them.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+#include "tracking/tracked_var.hpp"
+
+namespace ht {
+namespace testing {
+
+// Registers a context and parks it BLOCKED until destruction (or release()).
+class BlockedThread {
+ public:
+  explicit BlockedThread(Runtime& rt) : rt_(&rt), ctx_(&rt.register_thread()) {
+    rt_->begin_blocking(*ctx_);
+  }
+  ~BlockedThread() {
+    if (blocked_) rt_->end_blocking(*ctx_);
+  }
+  BlockedThread(const BlockedThread&) = delete;
+  BlockedThread& operator=(const BlockedThread&) = delete;
+
+  ThreadContext& ctx() { return *ctx_; }
+
+  // Wake the context up (it becomes a normal running context).
+  void wake() {
+    if (blocked_) {
+      rt_->end_blocking(*ctx_);
+      blocked_ = false;
+    }
+  }
+  void block_again() {
+    if (!blocked_) {
+      rt_->begin_blocking(*ctx_);
+      blocked_ = true;
+    }
+  }
+
+ private:
+  Runtime* rt_;
+  ThreadContext* ctx_;
+  bool blocked_ = true;
+};
+
+// Asserts an object's state kind (and owner when applicable).
+inline ::testing::AssertionResult state_is(const ObjectMeta& m, StateKind kind,
+                                           ThreadId tid = kNoThread) {
+  const StateWord s = m.load_state();
+  if (s.kind() != kind) {
+    return ::testing::AssertionFailure()
+           << "state is " << s.to_string() << ", expected kind "
+           << state_kind_name(kind);
+  }
+  if (tid != kNoThread && s.tid() != tid) {
+    return ::testing::AssertionFailure()
+           << "state is " << s.to_string() << ", expected owner T" << tid;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace testing
+}  // namespace ht
