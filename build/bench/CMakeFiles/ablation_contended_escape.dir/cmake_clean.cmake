@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_contended_escape.dir/ablation_contended_escape.cpp.o"
+  "CMakeFiles/ablation_contended_escape.dir/ablation_contended_escape.cpp.o.d"
+  "ablation_contended_escape"
+  "ablation_contended_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_contended_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

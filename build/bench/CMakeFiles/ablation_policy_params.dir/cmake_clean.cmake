@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_params.dir/ablation_policy_params.cpp.o"
+  "CMakeFiles/ablation_policy_params.dir/ablation_policy_params.cpp.o.d"
+  "ablation_policy_params"
+  "ablation_policy_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

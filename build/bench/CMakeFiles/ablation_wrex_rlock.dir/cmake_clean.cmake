@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wrex_rlock.dir/ablation_wrex_rlock.cpp.o"
+  "CMakeFiles/ablation_wrex_rlock.dir/ablation_wrex_rlock.cpp.o.d"
+  "ablation_wrex_rlock"
+  "ablation_wrex_rlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wrex_rlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_wrex_rlock.
+# This may be replaced when dependencies are built.

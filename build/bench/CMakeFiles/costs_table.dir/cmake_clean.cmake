@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costs_table.dir/costs_table.cpp.o"
+  "CMakeFiles/costs_table.dir/costs_table.cpp.o.d"
+  "costs_table"
+  "costs_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costs_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

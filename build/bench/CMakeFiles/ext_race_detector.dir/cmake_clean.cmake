@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_race_detector.dir/ext_race_detector.cpp.o"
+  "CMakeFiles/ext_race_detector.dir/ext_race_detector.cpp.o.d"
+  "ext_race_detector"
+  "ext_race_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_race_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

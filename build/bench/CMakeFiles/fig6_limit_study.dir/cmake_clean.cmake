@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_limit_study.dir/fig6_limit_study.cpp.o"
+  "CMakeFiles/fig6_limit_study.dir/fig6_limit_study.cpp.o.d"
+  "fig6_limit_study"
+  "fig6_limit_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

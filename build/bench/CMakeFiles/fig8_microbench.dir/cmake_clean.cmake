@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_microbench.dir/fig8_microbench.cpp.o"
+  "CMakeFiles/fig8_microbench.dir/fig8_microbench.cpp.o.d"
+  "fig8_microbench"
+  "fig8_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_recorder.dir/fig9a_recorder.cpp.o"
+  "CMakeFiles/fig9a_recorder.dir/fig9a_recorder.cpp.o.d"
+  "fig9a_recorder"
+  "fig9a_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

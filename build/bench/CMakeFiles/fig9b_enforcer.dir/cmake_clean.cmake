@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_enforcer.dir/fig9b_enforcer.cpp.o"
+  "CMakeFiles/fig9b_enforcer.dir/fig9b_enforcer.cpp.o.d"
+  "fig9b_enforcer"
+  "fig9b_enforcer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_enforcer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

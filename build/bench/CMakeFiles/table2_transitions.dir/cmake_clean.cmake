@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_transitions.dir/table2_transitions.cpp.o"
+  "CMakeFiles/table2_transitions.dir/table2_transitions.cpp.o.d"
+  "table2_transitions"
+  "table2_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_policy_explorer.dir/adaptive_policy_explorer.cpp.o"
+  "CMakeFiles/adaptive_policy_explorer.dir/adaptive_policy_explorer.cpp.o.d"
+  "adaptive_policy_explorer"
+  "adaptive_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

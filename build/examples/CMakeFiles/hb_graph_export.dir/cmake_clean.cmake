@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_graph_export.dir/hb_graph_export.cpp.o"
+  "CMakeFiles/hb_graph_export.dir/hb_graph_export.cpp.o.d"
+  "hb_graph_export"
+  "hb_graph_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_graph_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_replay_demo.dir/record_replay_demo.cpp.o"
+  "CMakeFiles/record_replay_demo.dir/record_replay_demo.cpp.o.d"
+  "record_replay_demo"
+  "record_replay_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_replay_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_serializability_demo.dir/region_serializability_demo.cpp.o"
+  "CMakeFiles/region_serializability_demo.dir/region_serializability_demo.cpp.o.d"
+  "region_serializability_demo"
+  "region_serializability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_serializability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/ht.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/ht.dir/common/stats.cpp.o.d"
+  "/root/repo/src/recorder/dependence_log.cpp" "src/CMakeFiles/ht.dir/recorder/dependence_log.cpp.o" "gcc" "src/CMakeFiles/ht.dir/recorder/dependence_log.cpp.o.d"
+  "/root/repo/src/recorder/recording_analysis.cpp" "src/CMakeFiles/ht.dir/recorder/recording_analysis.cpp.o" "gcc" "src/CMakeFiles/ht.dir/recorder/recording_analysis.cpp.o.d"
+  "/root/repo/src/recorder/recording_io.cpp" "src/CMakeFiles/ht.dir/recorder/recording_io.cpp.o" "gcc" "src/CMakeFiles/ht.dir/recorder/recording_io.cpp.o.d"
+  "/root/repo/src/recorder/recording_validate.cpp" "src/CMakeFiles/ht.dir/recorder/recording_validate.cpp.o" "gcc" "src/CMakeFiles/ht.dir/recorder/recording_validate.cpp.o.d"
+  "/root/repo/src/recorder/replayer.cpp" "src/CMakeFiles/ht.dir/recorder/replayer.cpp.o" "gcc" "src/CMakeFiles/ht.dir/recorder/replayer.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/ht.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/ht.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/runtime/sync.cpp" "src/CMakeFiles/ht.dir/runtime/sync.cpp.o" "gcc" "src/CMakeFiles/ht.dir/runtime/sync.cpp.o.d"
+  "/root/repo/src/runtime/thread_context.cpp" "src/CMakeFiles/ht.dir/runtime/thread_context.cpp.o" "gcc" "src/CMakeFiles/ht.dir/runtime/thread_context.cpp.o.d"
+  "/root/repo/src/runtime/thread_registry.cpp" "src/CMakeFiles/ht.dir/runtime/thread_registry.cpp.o" "gcc" "src/CMakeFiles/ht.dir/runtime/thread_registry.cpp.o.d"
+  "/root/repo/src/tracking/tracker_name.cpp" "src/CMakeFiles/ht.dir/tracking/tracker_name.cpp.o" "gcc" "src/CMakeFiles/ht.dir/tracking/tracker_name.cpp.o.d"
+  "/root/repo/src/tracking/transition_stats.cpp" "src/CMakeFiles/ht.dir/tracking/transition_stats.cpp.o" "gcc" "src/CMakeFiles/ht.dir/tracking/transition_stats.cpp.o.d"
+  "/root/repo/src/workload/harness.cpp" "src/CMakeFiles/ht.dir/workload/harness.cpp.o" "gcc" "src/CMakeFiles/ht.dir/workload/harness.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/CMakeFiles/ht.dir/workload/profiles.cpp.o" "gcc" "src/CMakeFiles/ht.dir/workload/profiles.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/ht.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/ht.dir/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

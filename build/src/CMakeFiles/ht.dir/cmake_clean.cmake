@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht.dir/common/stats.cpp.o"
+  "CMakeFiles/ht.dir/common/stats.cpp.o.d"
+  "CMakeFiles/ht.dir/recorder/dependence_log.cpp.o"
+  "CMakeFiles/ht.dir/recorder/dependence_log.cpp.o.d"
+  "CMakeFiles/ht.dir/recorder/recording_analysis.cpp.o"
+  "CMakeFiles/ht.dir/recorder/recording_analysis.cpp.o.d"
+  "CMakeFiles/ht.dir/recorder/recording_io.cpp.o"
+  "CMakeFiles/ht.dir/recorder/recording_io.cpp.o.d"
+  "CMakeFiles/ht.dir/recorder/recording_validate.cpp.o"
+  "CMakeFiles/ht.dir/recorder/recording_validate.cpp.o.d"
+  "CMakeFiles/ht.dir/recorder/replayer.cpp.o"
+  "CMakeFiles/ht.dir/recorder/replayer.cpp.o.d"
+  "CMakeFiles/ht.dir/runtime/runtime.cpp.o"
+  "CMakeFiles/ht.dir/runtime/runtime.cpp.o.d"
+  "CMakeFiles/ht.dir/runtime/sync.cpp.o"
+  "CMakeFiles/ht.dir/runtime/sync.cpp.o.d"
+  "CMakeFiles/ht.dir/runtime/thread_context.cpp.o"
+  "CMakeFiles/ht.dir/runtime/thread_context.cpp.o.d"
+  "CMakeFiles/ht.dir/runtime/thread_registry.cpp.o"
+  "CMakeFiles/ht.dir/runtime/thread_registry.cpp.o.d"
+  "CMakeFiles/ht.dir/tracking/tracker_name.cpp.o"
+  "CMakeFiles/ht.dir/tracking/tracker_name.cpp.o.d"
+  "CMakeFiles/ht.dir/tracking/transition_stats.cpp.o"
+  "CMakeFiles/ht.dir/tracking/transition_stats.cpp.o.d"
+  "CMakeFiles/ht.dir/workload/harness.cpp.o"
+  "CMakeFiles/ht.dir/workload/harness.cpp.o.d"
+  "CMakeFiles/ht.dir/workload/profiles.cpp.o"
+  "CMakeFiles/ht.dir/workload/profiles.cpp.o.d"
+  "CMakeFiles/ht.dir/workload/workload.cpp.o"
+  "CMakeFiles/ht.dir/workload/workload.cpp.o.d"
+  "libht.a"
+  "libht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_policy.cpp" "tests/CMakeFiles/ht_tests.dir/test_adaptive_policy.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_adaptive_policy.cpp.o.d"
+  "/root/repo/tests/test_apis.cpp" "tests/CMakeFiles/ht_tests.dir/test_apis.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_apis.cpp.o.d"
+  "/root/repo/tests/test_chaos.cpp" "tests/CMakeFiles/ht_tests.dir/test_chaos.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_chaos.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/ht_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_coordination_edge_cases.cpp" "tests/CMakeFiles/ht_tests.dir/test_coordination_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_coordination_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_enforcer.cpp" "tests/CMakeFiles/ht_tests.dir/test_enforcer.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_enforcer.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/ht_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hybrid_tracker.cpp" "tests/CMakeFiles/ht_tests.dir/test_hybrid_tracker.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_hybrid_tracker.cpp.o.d"
+  "/root/repo/tests/test_optimistic_tracker.cpp" "tests/CMakeFiles/ht_tests.dir/test_optimistic_tracker.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_optimistic_tracker.cpp.o.d"
+  "/root/repo/tests/test_pessimistic_tracker.cpp" "tests/CMakeFiles/ht_tests.dir/test_pessimistic_tracker.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_pessimistic_tracker.cpp.o.d"
+  "/root/repo/tests/test_profile_word.cpp" "tests/CMakeFiles/ht_tests.dir/test_profile_word.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_profile_word.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/ht_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_race_detector.cpp" "tests/CMakeFiles/ht_tests.dir/test_race_detector.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_race_detector.cpp.o.d"
+  "/root/repo/tests/test_record_replay.cpp" "tests/CMakeFiles/ht_tests.dir/test_record_replay.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_record_replay.cpp.o.d"
+  "/root/repo/tests/test_recorder_units.cpp" "tests/CMakeFiles/ht_tests.dir/test_recorder_units.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_recorder_units.cpp.o.d"
+  "/root/repo/tests/test_recording_io.cpp" "tests/CMakeFiles/ht_tests.dir/test_recording_io.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_recording_io.cpp.o.d"
+  "/root/repo/tests/test_recording_validate.cpp" "tests/CMakeFiles/ht_tests.dir/test_recording_validate.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_recording_validate.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/ht_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_state_word.cpp" "tests/CMakeFiles/ht_tests.dir/test_state_word.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_state_word.cpp.o.d"
+  "/root/repo/tests/test_sync_and_undo.cpp" "tests/CMakeFiles/ht_tests.dir/test_sync_and_undo.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_sync_and_undo.cpp.o.d"
+  "/root/repo/tests/test_table3_matrix.cpp" "tests/CMakeFiles/ht_tests.dir/test_table3_matrix.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_table3_matrix.cpp.o.d"
+  "/root/repo/tests/test_tracked_object.cpp" "tests/CMakeFiles/ht_tests.dir/test_tracked_object.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_tracked_object.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/ht_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_workload_data.cpp" "tests/CMakeFiles/ht_tests.dir/test_workload_data.cpp.o" "gcc" "tests/CMakeFiles/ht_tests.dir/test_workload_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ht.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
