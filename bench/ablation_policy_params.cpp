@@ -87,14 +87,23 @@ void sweep(const char* profile_name, double scale, int trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int trials = trials_from_env(3);
   const double scale = scale_from_env();
+  // Optional argv: profile names to sweep instead of the default trio.
+  std::vector<const char*> profiles = {"xalan6", "avrora9", "lusearch9"};
+  if (argc > 1) {
+    profiles.assign(argv + 1, argv + argc);
+    for (const char* name : profiles) {
+      if (!find_profile(name).has_value()) {
+        std::fprintf(stderr, "%s\n", unknown_profile_message(name).c_str());
+        return 1;
+      }
+    }
+  }
   std::printf("== §7.3 ablation: adaptive-policy parameters "
               "(defaults: Cutoff_confl=4, K_confl=200, Inertia=100) ==\n\n");
-  sweep("xalan6", scale, trials);
-  sweep("avrora9", scale, trials);
-  sweep("lusearch9", scale, trials);
+  for (const char* name : profiles) sweep(name, scale, trials);
   std::printf("expected shapes: xalan6 insensitive beyond cutoff<=16 but "
               "degrades at cutoff=inf;\navrora9 sensitive to cutoff (Fig 6 "
               "exception); lusearch9 flat everywhere.\n");

@@ -56,13 +56,22 @@ int main() {
     std::printf("failed to save the recording\n");
     return 1;
   }
-  const auto reloaded = load_recording(path);
-  if (!reloaded.has_value()) {
-    std::printf("failed to reload the recording\n");
+  const RecordingLoadResult load = load_recording_ex(path);
+  if (!load.recording.has_value()) {
+    std::printf("failed to reload the recording: %s\n",
+                recording_load_error_name(load.error));
     return 1;
   }
-  std::printf("\nsaved + reloaded %s; analysis: %s\n", path,
-              analyze_recording(*reloaded).summary().c_str());
+  if (!load.complete()) {
+    // A torn file still loads its longest valid prefix, but this demo just
+    // wrote the file — a partial load here means the disk is lying to us.
+    std::printf("recording reloaded only partially (%s); not replaying it\n",
+                recording_load_error_name(load.error));
+    return 1;
+  }
+  const auto& reloaded = load.recording;
+  std::printf("\nsaved + reloaded %s (%zu chunks); analysis: %s\n", path,
+              load.chunks_loaded, analyze_recording(*reloaded).summary().c_str());
 
   // ---- replay (twice, from the reloaded file — determinism must hold) -----------
   for (int round = 1; round <= 2; ++round) {

@@ -7,8 +7,15 @@
 // quickly from pause instructions to std::this_thread::yield(), which is what
 // keeps the "explicit coordination costs a round trip, not a quantum"
 // property of the paper intact.
+//
+// Yielding has its own failure mode: when the waited-on thread is stalled
+// (not merely descheduled), every yield is immediately rescheduled back and
+// the waiter burns a full core indefinitely — a yield storm. After a yield
+// budget the backoff escalates again to short sleep_for ticks, doubling up
+// to a cap, so a stalled-owner wait costs wakeups per second, not a core.
 #pragma once
 
+#include <chrono>
 #include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -32,26 +39,47 @@ class Backoff {
   // The default is small: when the waited-on thread shares the core (our
   // container exposes one), spinning delays the very response being waited
   // for.
-  explicit Backoff(int spins_before_yield = 2)
-      : limit_(spins_before_yield) {}
+  // yields_before_sleep: how many yield rounds before escalating to sleep
+  // ticks. Large enough that every healthy wait (the owner responds within
+  // a few scheduling quanta) finishes while still yielding; responses are
+  // then observed with sub-quantum latency and sleeps only trigger against
+  // genuinely stalled owners.
+  explicit Backoff(int spins_before_yield = 2, int yields_before_sleep = 64)
+      : limit_(spins_before_yield),
+        sleep_after_(spins_before_yield + yields_before_sleep) {}
 
   void pause() {
     if (count_ < limit_) {
       for (int i = 0; i < (1 << count_); ++i) cpu_relax();
       ++count_;
-    } else {
+    } else if (count_ < sleep_after_) {
+      ++count_;
       std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+      if (sleep_us_ < kMaxSleepUs) sleep_us_ *= 2;
     }
   }
 
-  void reset() { count_ = 0; }
+  void reset() {
+    count_ = 0;
+    sleep_us_ = kMinSleepUs;
+  }
 
-  // True once the backoff has escalated to yielding.
+  // True once the backoff has escalated to ceding the CPU (yield or sleep).
   bool yielding() const { return count_ >= limit_; }
 
+  // True once the yield budget is exhausted and waits are sleep ticks.
+  bool sleeping() const { return count_ >= sleep_after_; }
+
  private:
+  static constexpr int kMinSleepUs = 20;
+  static constexpr int kMaxSleepUs = 256;
+
   int count_ = 0;
   int limit_;
+  int sleep_after_;
+  int sleep_us_ = kMinSleepUs;
 };
 
 }  // namespace ht

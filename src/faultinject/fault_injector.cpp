@@ -1,0 +1,130 @@
+#include "faultinject/fault_injector.hpp"
+
+#include <sstream>
+
+#include "common/spin.hpp"
+
+namespace ht {
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPollDelay: return "poll-delay";
+    case FaultSite::kPollSkip: return "poll-skip";
+    case FaultSite::kCoordStall: return "coord-stall";
+    case FaultSite::kThreadDeath: return "thread-death";
+    case FaultSite::kSlowPathDelay: return "slow-path-delay";
+    case FaultSite::kIoOpenFail: return "io-open-fail";
+    case FaultSite::kIoShortWrite: return "io-short-write";
+    case FaultSite::kIoReadFail: return "io-read-fail";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg)
+    : cfg_(cfg),
+      slots_(cfg.max_thread_slots == 0 ? 1 : cfg.max_thread_slots),
+      io_rng_(cfg.seed ^ 0xf417f417f417f417ULL) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].rng = Xoshiro256(cfg_.seed * 0x9e3779b97f4a7c15ULL + i);
+  }
+}
+
+bool FaultInjector::probe(FaultSite site, Xoshiro256& rng) {
+  const std::uint32_t rate = cfg_.rate(site);
+  if (rate == 0) return false;
+  return rng.next_below(100'000) < rate;
+}
+
+bool FaultInjector::at_safe_point(ThreadId tid) {
+  Slot& s = slot(tid);
+  if (s.dead.load(std::memory_order_relaxed)) return true;
+  if (probe(FaultSite::kThreadDeath, s.rng)) {
+    count(FaultSite::kThreadDeath);
+    s.dead.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  if (s.stall_remaining > 0) {
+    if (--s.stall_remaining == 0) {
+      s.stalled.store(false, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  if (probe(FaultSite::kCoordStall, s.rng)) {
+    count(FaultSite::kCoordStall);
+    s.stall_remaining = cfg_.stall_polls;
+    s.stalled.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  if (probe(FaultSite::kPollDelay, s.rng)) {
+    count(FaultSite::kPollDelay);
+    for (std::uint32_t i = 0; i < cfg_.delay_spins; ++i) cpu_relax();
+  }
+  if (probe(FaultSite::kPollSkip, s.rng)) {
+    count(FaultSite::kPollSkip);
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::at_slow_path(ThreadId tid) {
+  Slot& s = slot(tid);
+  if (probe(FaultSite::kSlowPathDelay, s.rng)) {
+    count(FaultSite::kSlowPathDelay);
+    for (std::uint32_t i = 0; i < cfg_.delay_spins; ++i) cpu_relax();
+  }
+}
+
+bool FaultInjector::fail_open() {
+  std::lock_guard<std::mutex> g(io_mu_);
+  if (!probe(FaultSite::kIoOpenFail, io_rng_)) return false;
+  count(FaultSite::kIoOpenFail);
+  return true;
+}
+
+bool FaultInjector::fail_read() {
+  std::lock_guard<std::mutex> g(io_mu_);
+  if (!probe(FaultSite::kIoReadFail, io_rng_)) return false;
+  count(FaultSite::kIoReadFail);
+  return true;
+}
+
+std::optional<std::size_t> FaultInjector::short_write(std::size_t bytes) {
+  std::lock_guard<std::mutex> g(io_mu_);
+  if (bytes == 0 || !probe(FaultSite::kIoShortWrite, io_rng_)) {
+    return std::nullopt;
+  }
+  count(FaultSite::kIoShortWrite);
+  return static_cast<std::size_t>(io_rng_.next_below(bytes));
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fired_) total += f.load(std::memory_order_relaxed);
+  return total;
+}
+
+bool FaultInjector::thread_dead(ThreadId tid) const {
+  return slot(tid).dead.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::thread_suppressed(ThreadId tid) const {
+  const Slot& s = slot(tid);
+  return s.dead.load(std::memory_order_relaxed) ||
+         s.stalled.load(std::memory_order_relaxed);
+}
+
+std::string FaultInjector::summary() const {
+  std::ostringstream out;
+  out << "faults fired:";
+  bool any = false;
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const std::uint64_t n = fired_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    any = true;
+    out << ' ' << fault_site_name(static_cast<FaultSite>(i)) << '=' << n;
+  }
+  if (!any) out << " none";
+  return out.str();
+}
+
+}  // namespace ht

@@ -1,17 +1,28 @@
 // Recording persistence: a record & replay system is only useful if the
 // recording survives the recording process (offline replay, replication-
-// based fault tolerance — the §4.1 use cases), so recordings serialize to a
-// simple versioned binary format:
+// based fault tolerance — the §4.1 use cases), including processes that die
+// mid-write. Two on-disk formats share the "HTRC" magic:
 //
-//   magic "HTRC" | version u32 | thread_count u32
+// v1 (legacy, still loadable; written by save_recording_v1):
+//   magic "HTRC" | version u32=1 | thread_count u32
 //   per thread:  event_count u64 | events (point u64, type u8, src u32,
 //                                          value u64)
 //   trailer:     FNV-1a checksum u64 over everything after the magic
+//   One whole-file checksum: any torn byte discards the entire recording.
 //
-// Integers are little-endian (the format is host-order; a checksum mismatch
-// or bad magic fails the load rather than corrupting a replay).
+// v2 (current, streaming + crash-tolerant):
+//   magic "HTRC" | version u32=2 | thread_count u32 | header FNV u64
+//   chunk*:      thread u32 | event_count u32 | events | chunk FNV u64
+//   trailer:     thread u32=0xFFFFFFFF | event_count u32=0 | FNV u64
+//   Chunk checksums are chained (each chunk's FNV is seeded by the previous
+//   chunk's), so chunks cannot be reordered or spliced. A load walks chunks
+//   until the trailer; a truncated or torn file yields every intact chunk —
+//   the longest valid prefix of each thread's log — flagged as partial.
+//
+// Integers are little-endian host order, fields packed with no padding.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -19,13 +30,81 @@
 
 namespace ht {
 
-inline constexpr std::uint32_t kRecordingFormatVersion = 1;
+class FaultInjector;
 
-// Writes `recording` to `path`; returns false on I/O failure.
-bool save_recording(const Recording& recording, const std::string& path);
+inline constexpr std::uint32_t kRecordingFormatVersion = 2;
+inline constexpr std::uint32_t kRecordingFormatVersionV1 = 1;
 
-// Loads a recording; returns std::nullopt on I/O failure, bad magic,
-// version mismatch, truncation, or checksum mismatch.
+// Why a load failed (or was cut short).
+enum class RecordingLoadError : std::uint8_t {
+  kNone = 0,   // complete, intact load
+  kIo,         // open/read failure
+  kBadMagic,   // not a recording file
+  kBadVersion, // unknown format version
+  kTruncated,  // file ends early (v2: a valid prefix was salvaged)
+  kChecksum,   // corrupted payload (v2: the prefix before it was salvaged)
+};
+
+const char* recording_load_error_name(RecordingLoadError e);
+
+struct RecordingLoadResult {
+  // Present on a complete load AND on a salvaged-prefix load; nullopt only
+  // when nothing could be recovered (bad magic/version, unreadable file,
+  // corrupt v2 header, any v1 failure).
+  std::optional<Recording> recording;
+  RecordingLoadError error = RecordingLoadError::kNone;
+  bool partial = false;           // true when recording holds a prefix only
+  std::size_t chunks_loaded = 0;  // v2: intact chunks accepted
+
+  bool complete() const {
+    return recording.has_value() && error == RecordingLoadError::kNone;
+  }
+  std::string to_string() const;
+};
+
+// Streaming v2 writer: header at construction, one checksummed chunk per
+// append (flushed through the stream so a crash loses at most the chunk
+// being written), trailer at finish(). Any failure latches: subsequent calls
+// return false without writing.
+class RecordingStreamWriter {
+ public:
+  RecordingStreamWriter(const std::string& path, std::uint32_t thread_count,
+                        FaultInjector* faults = nullptr);
+  ~RecordingStreamWriter();
+  RecordingStreamWriter(const RecordingStreamWriter&) = delete;
+  RecordingStreamWriter& operator=(const RecordingStreamWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  bool append(ThreadId thread, const LogEvent* events, std::size_t count);
+  bool finish();  // writes the trailer; idempotent
+
+ private:
+  bool write_block(const std::string& bytes);
+
+  void* out_;  // std::ofstream, kept out of the header
+  std::uint64_t chain_;
+  std::uint32_t thread_count_;
+  bool ok_;
+  bool finished_ = false;
+  FaultInjector* faults_;
+};
+
+// Writes `recording` to `path` in v2 format; returns false on I/O failure
+// (including injected faults — a short write leaves a loadable prefix).
+bool save_recording(const Recording& recording, const std::string& path,
+                    FaultInjector* faults = nullptr);
+
+// Legacy v1 writer, kept so compatibility is testable against real v1 bytes.
+bool save_recording_v1(const Recording& recording, const std::string& path);
+
+// Loads a recording with a structured reason. v2 truncation/corruption
+// salvages the longest valid prefix (error + partial set); v1 files load
+// only when fully intact.
+RecordingLoadResult load_recording_ex(const std::string& path,
+                                      FaultInjector* faults = nullptr);
+
+// Compatibility wrapper: the recording when anything was recoverable
+// (complete or salvaged prefix), std::nullopt otherwise.
 std::optional<Recording> load_recording(const std::string& path);
 
 }  // namespace ht

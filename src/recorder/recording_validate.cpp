@@ -46,4 +46,20 @@ ValidationResult validate_recording(const Recording& recording) {
   return r;
 }
 
+std::string FileCheckResult::to_string() const {
+  std::ostringstream out;
+  out << load.to_string();
+  if (load.recording.has_value()) out << "; structure: " << structure.to_string();
+  return out.str();
+}
+
+FileCheckResult check_recording_file(const std::string& path) {
+  FileCheckResult r;
+  r.load = load_recording_ex(path);
+  if (r.load.recording.has_value()) {
+    r.structure = validate_recording(*r.load.recording);
+  }
+  return r;
+}
+
 }  // namespace ht

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "recorder/dependence_log.hpp"
+#include "recorder/recording_io.hpp"
 
 namespace ht {
 
@@ -35,5 +36,20 @@ struct ValidationResult {
 // Reachability of edge values cannot be decided from the recording alone
 // (deterministic PSRO bumps depend on the program), so it is not checked.
 ValidationResult validate_recording(const Recording& recording);
+
+// File-level check: load (reporting WHY a load failed or was cut short —
+// bad magic / version / truncated / checksum / io) and, when anything was
+// recoverable, run the structural checks on it. A salvaged v2 prefix is
+// validated too: a prefix of a well-formed recording is well-formed, so
+// structural issues in a partial file still indicate real corruption.
+struct FileCheckResult {
+  RecordingLoadResult load;
+  ValidationResult structure;  // meaningful only when load.recording exists
+
+  bool ok() const { return load.complete() && structure.ok(); }
+  std::string to_string() const;
+};
+
+FileCheckResult check_recording_file(const std::string& path);
 
 }  // namespace ht

@@ -1,10 +1,17 @@
 #include "runtime/runtime.hpp"
 
+#include <cstdio>
+#include <sstream>
+
 #include "common/spin.hpp"
+#include "faultinject/fault_injector.hpp"
 
 namespace ht {
 
-Runtime::Runtime(RuntimeConfig cfg) : registry_(cfg.max_threads) {}
+Runtime::Runtime(RuntimeConfig cfg)
+    : cfg_(std::move(cfg)),
+      registry_(cfg_.max_threads),
+      injector_(cfg_.fault_injector) {}
 
 ThreadContext& Runtime::register_thread() {
   return registry_.register_thread(this);
@@ -57,6 +64,14 @@ void Runtime::respond(ThreadContext& ctx) {
   ctx.run_resp_log_hook();  // recorder: nondeterministic bump -> log it
 }
 
+bool Runtime::poll_fault_suppressed(ThreadContext& ctx) {
+  return injector_->at_safe_point(ctx.id);
+}
+
+void Runtime::slow_path_fault(ThreadContext& ctx) {
+  injector_->at_slow_path(ctx.id);
+}
+
 void Runtime::begin_blocking(ThreadContext& ctx) {
   HT_ASSERT(!ctx.in_region, "blocking operation inside an SBRS region");
   std::uint64_t s = ctx.owner_side.status.load(std::memory_order_relaxed);
@@ -98,7 +113,31 @@ void Runtime::end_blocking(ThreadContext& ctx) {
   if (ctx.requests_pending()) respond(ctx);
 }
 
-Runtime::CoordResult Runtime::coordinate(ThreadContext& self, ThreadId owner) {
+namespace {
+
+// Owner-progress fingerprint for the watchdog. Any change — a poll, a
+// release-counter bump, a status transition, a watermark advance — counts as
+// progress and resets the stall clock.
+struct ProgressFingerprint {
+  std::uint64_t last_poll = 0;
+  std::uint64_t release_counter = 0;
+  std::uint64_t status = 0;
+  std::uint64_t watermark = 0;
+
+  bool operator==(const ProgressFingerprint&) const = default;
+
+  static ProgressFingerprint of(const ThreadContext& t) {
+    return {t.owner_side.last_poll.load(std::memory_order_relaxed),
+            t.owner_side.release_counter.load(std::memory_order_relaxed),
+            t.owner_side.status.load(std::memory_order_relaxed),
+            t.owner_side.response_watermark.load(std::memory_order_relaxed)};
+  }
+};
+
+}  // namespace
+
+std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
+    ThreadContext& self, ThreadId owner, std::uint64_t max_epochs) {
   HT_ASSERT(owner != self.id, "self-coordination");
   ThreadContext& remote = registry_.context(owner);
   ++self.stats.coordination_rounds;
@@ -110,8 +149,9 @@ Runtime::CoordResult Runtime::coordinate(ThreadContext& self, ThreadId owner) {
     if (remote.owner_side.status.compare_exchange_strong(
             st, ThreadStatus::bump_epoch(st), std::memory_order_acq_rel,
             std::memory_order_acquire)) {
-      return {remote.owner_side.release_counter.load(std::memory_order_acquire),
-              /*implicit=*/true};
+      return CoordResult{
+          remote.owner_side.release_counter.load(std::memory_order_acquire),
+          /*implicit=*/true};
     }
   }
 
@@ -121,12 +161,19 @@ Runtime::CoordResult Runtime::coordinate(ThreadContext& self, ThreadId owner) {
       remote.requester_side.request_tickets.fetch_add(
           1, std::memory_order_acq_rel) +
       1;
+  const WatchdogConfig& wd = cfg_.watchdog;
+  const bool police = max_epochs == 0 && wd.enabled;
   Backoff backoff;
+  std::uint64_t epochs = 0;
+  std::uint64_t stalled_epochs = 0;
+  std::uint32_t dumps = 0;
+  ProgressFingerprint last = ProgressFingerprint::of(remote);
   for (;;) {
     if (remote.owner_side.response_watermark.load(std::memory_order_acquire) >=
         ticket) {
-      return {remote.owner_side.release_counter.load(std::memory_order_acquire),
-              /*implicit=*/false};
+      return CoordResult{
+          remote.owner_side.release_counter.load(std::memory_order_acquire),
+          /*implicit=*/false};
     }
     st = remote.owner_side.status.load(std::memory_order_acquire);
     if (ThreadStatus::is_blocked(st) &&
@@ -135,12 +182,48 @@ Runtime::CoordResult Runtime::coordinate(ThreadContext& self, ThreadId owner) {
             std::memory_order_acquire)) {
       // Owner blocked after our ticket; our abandoned ticket is harmless
       // (the watermark scheme answers it at the owner's next safe point).
-      return {remote.owner_side.release_counter.load(std::memory_order_acquire),
-              /*implicit=*/true};
+      return CoordResult{
+          remote.owner_side.release_counter.load(std::memory_order_acquire),
+          /*implicit=*/true};
     }
     respond_while_waiting(self);  // may throw RegionRestart
     backoff.pause();
+    ++epochs;
+    if (max_epochs != 0 && epochs >= max_epochs) {
+      // Bounded wait expired. The abandoned ticket stays harmless: it is
+      // below the owner's watermark after its next responding safe point.
+      return std::nullopt;
+    }
+    if (police) {
+      const ProgressFingerprint now = ProgressFingerprint::of(remote);
+      if (now != last) {
+        last = now;
+        stalled_epochs = 0;
+      } else if (++stalled_epochs >= wd.stall_epochs) {
+        CoordStallDiagnostic diag = build_stall_diagnostic(
+            self, remote, ticket, epochs, stalled_epochs);
+        if (dumps < wd.max_dumps) {
+          emit_stall_diagnostic(diag);
+          ++dumps;
+        }
+        if (wd.on_stall == WatchdogConfig::OnStall::kFailFast) {
+          throw CoordinationStalled{std::move(diag)};
+        }
+        stalled_epochs = 0;  // kContinue: rearm the stall clock
+      }
+    }
   }
+}
+
+Runtime::CoordResult Runtime::coordinate(ThreadContext& self, ThreadId owner) {
+  // Unbounded wait never returns nullopt (it either completes or throws).
+  return *coordinate_impl(self, owner, /*max_epochs=*/0);
+}
+
+std::optional<Runtime::CoordResult> Runtime::coordinate_bounded(
+    ThreadContext& self, ThreadId owner, std::uint64_t max_epochs) {
+  HT_ASSERT(max_epochs > 0, "bounded coordination needs a nonzero bound");
+  return coordinate_impl(self, owner, max_epochs);
 }
 
 bool Runtime::coordinate_all_others(ThreadContext& self) {
@@ -151,6 +234,86 @@ bool Runtime::coordinate_all_others(ThreadContext& self) {
     if (!coordinate(self, t).implicit) any_explicit = true;
   }
   return any_explicit;
+}
+
+// --- diagnostics ---------------------------------------------------------------
+
+ThreadLivenessSample Runtime::sample_thread(ThreadId id) const {
+  const ThreadContext& t = registry_.context(id);
+  ThreadLivenessSample s;
+  s.id = id;
+  const std::uint64_t status =
+      t.owner_side.status.load(std::memory_order_acquire);
+  s.blocked = ThreadStatus::is_blocked(status);
+  s.exited = t.exited.load(std::memory_order_relaxed);
+  s.status_epoch = ThreadStatus::epoch(status);
+  s.last_poll = t.owner_side.last_poll.load(std::memory_order_relaxed);
+  s.release_counter =
+      t.owner_side.release_counter.load(std::memory_order_relaxed);
+  s.request_tickets =
+      t.requester_side.request_tickets.load(std::memory_order_relaxed);
+  s.response_watermark =
+      t.owner_side.response_watermark.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<ThreadLivenessSample> Runtime::sample_all_threads() const {
+  std::vector<ThreadLivenessSample> v;
+  const ThreadId n = registry_.high_water();
+  v.reserve(n);
+  for (ThreadId t = 0; t < n; ++t) v.push_back(sample_thread(t));
+  return v;
+}
+
+CoordStallDiagnostic Runtime::build_stall_diagnostic(
+    const ThreadContext& self, const ThreadContext& remote,
+    std::uint64_t ticket, std::uint64_t waited_epochs,
+    std::uint64_t stalled_epochs) const {
+  CoordStallDiagnostic d;
+  d.requester = self.id;
+  d.owner = remote.id;
+  d.ticket = ticket;
+  d.waited_epochs = waited_epochs;
+  d.stalled_epochs = stalled_epochs;
+  d.owner_sample = sample_thread(remote.id);
+  d.threads = sample_all_threads();
+  return d;
+}
+
+void Runtime::emit_stall_diagnostic(const CoordStallDiagnostic& diag) const {
+  if (cfg_.watchdog.sink) {
+    cfg_.watchdog.sink(diag);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", diag.to_string().c_str());
+}
+
+namespace {
+
+void append_sample(std::ostringstream& out, const ThreadLivenessSample& s) {
+  out << "T" << s.id << ": "
+      << (s.exited ? "exited" : s.blocked ? "blocked" : "running")
+      << " last_poll=" << s.last_poll << " release=" << s.release_counter
+      << " epoch=" << s.status_epoch << " pending=" << s.pending_requests()
+      << " (tickets=" << s.request_tickets
+      << " watermark=" << s.response_watermark << ")";
+}
+
+}  // namespace
+
+std::string CoordStallDiagnostic::to_string() const {
+  std::ostringstream out;
+  out << "[watchdog] coordination stall: T" << requester << " waiting on T"
+      << owner << " (ticket " << ticket << ", " << stalled_epochs
+      << " epochs without owner progress, " << waited_epochs
+      << " epochs total)\n  owner ";
+  append_sample(out, owner_sample);
+  out << "\n  all threads:";
+  for (const ThreadLivenessSample& s : threads) {
+    out << "\n    ";
+    append_sample(out, s);
+  }
+  return out.str();
 }
 
 }  // namespace ht

@@ -17,10 +17,23 @@
 // thread that observes the response (or the unlocked state — flushes store
 // states after the bump) reads a counter value that postdates every program
 // access the owner performed before relinquishing.
+//
+// Failure model (DESIGN.md §7): the protocol above assumes every thread
+// keeps reaching safe points. The coordination watchdog drops that
+// assumption: an explicit-coordination wait that sees no owner progress for
+// a configured number of backoff epochs samples every thread's liveness
+// (last poll index, blocked/exited status, pending-request age), emits a
+// structured diagnostic, and — per policy — keeps waiting or fails fast by
+// throwing CoordinationStalled. Injected faults (src/faultinject/) drive
+// these paths in tests.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "runtime/thread_context.hpp"
@@ -28,8 +41,74 @@
 
 namespace ht {
 
+class FaultInjector;
+
+// Point-in-time liveness sample of one thread, as seen by the watchdog.
+struct ThreadLivenessSample {
+  ThreadId id = kNoThread;
+  bool blocked = false;
+  bool exited = false;
+  std::uint64_t status_epoch = 0;
+  std::uint64_t last_poll = 0;         // point index at its last poll
+  std::uint64_t release_counter = 0;
+  std::uint64_t request_tickets = 0;
+  std::uint64_t response_watermark = 0;
+
+  // Requests issued but not yet answered (the pending-request backlog).
+  std::uint64_t pending_requests() const {
+    return request_tickets > response_watermark
+               ? request_tickets - response_watermark
+               : 0;
+  }
+};
+
+// Structured dump emitted when the watchdog confirms a stall: who waited on
+// whom, for how long, plus a per-thread liveness table.
+struct CoordStallDiagnostic {
+  ThreadId requester = kNoThread;
+  ThreadId owner = kNoThread;
+  std::uint64_t ticket = 0;           // the unanswered request
+  std::uint64_t waited_epochs = 0;    // backoff epochs since coordinate() began
+  std::uint64_t stalled_epochs = 0;   // epochs with zero observed owner progress
+  ThreadLivenessSample owner_sample;
+  std::vector<ThreadLivenessSample> threads;
+
+  std::string to_string() const;
+};
+
+// Thrown by coordinate() when the watchdog policy is kFailFast and the owner
+// made no progress for watchdog.stall_epochs backoff epochs. Carries the
+// same diagnostic the sink received.
+struct CoordinationStalled {
+  CoordStallDiagnostic diagnostic;
+};
+
+struct WatchdogConfig {
+  bool enabled = true;
+  // Backoff epochs (pause() calls in the explicit wait loop) without any
+  // observed owner progress before the wait is declared stalled. Epochs cost
+  // microseconds once Backoff escalates to sleep ticks, so the default is
+  // roughly a second of wall-clock silence.
+  std::uint64_t stall_epochs = 4096;
+  // What a confirmed stall does after the diagnostic is emitted.
+  enum class OnStall : std::uint8_t {
+    kContinue,  // keep waiting; re-diagnose every stall_epochs of silence
+    kFailFast,  // throw CoordinationStalled
+  };
+  OnStall on_stall = OnStall::kContinue;
+  // Max diagnostics emitted per coordinate() call under kContinue (the wait
+  // may legitimately outlive many windows; don't storm the sink).
+  std::uint32_t max_dumps = 2;
+  // Diagnostic sink; nullptr means "write to stderr".
+  std::function<void(const CoordStallDiagnostic&)> sink;
+};
+
 struct RuntimeConfig {
   std::size_t max_threads = 64;
+  WatchdogConfig watchdog;
+  // Optional fault injector (not owned; must outlive the Runtime). When
+  // null — the default — every injection site compiles down to one branch.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class Runtime {
@@ -51,6 +130,9 @@ class Runtime {
   ThreadRegistry& registry() { return registry_; }
   const ThreadRegistry& registry() const { return registry_; }
 
+  const RuntimeConfig& config() const { return cfg_; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   // --- global read-share counter (Table 1 note *) ------------------------------
   // Starts at 1 so that a fresh thread's rd_sh_count (0) is stale for every
   // RdSh state, forcing the fence transition on first read.
@@ -67,12 +149,20 @@ class Runtime {
   // inside an SBRS region (two-phase locking, §5.1).
   void poll(ThreadContext& ctx) {
     ++ctx.point_index;
+    // A suppressed poll models a thread that never reached this safe point
+    // (stalled in a long computation, or dead): nothing observable happens —
+    // in particular last_poll stays frozen so the watchdog sees the stall.
+    if (injector_ != nullptr && poll_fault_suppressed(ctx)) return;
+    ctx.owner_side.last_poll.store(ctx.point_index,
+                                   std::memory_order_relaxed);
     if (!ctx.in_region && ctx.requests_pending()) respond(ctx);
   }
 
   // Safe point inside nondeterministic spin loops (Fig 1 lines 9/18, Fig 10
   // line 55). Does NOT bump the point index. May throw RegionRestart when an
-  // enforcer region responded (after rolling back).
+  // enforcer region responded (after rolling back). Fault injection never
+  // suppresses these responses: a thread stuck waiting is exactly the thread
+  // that must keep answering others (deadlock freedom, Fig 1 line 18).
   void respond_while_waiting(ThreadContext& ctx) {
     if (ctx.requests_pending()) {
       respond(ctx);
@@ -81,6 +171,12 @@ class Runtime {
         throw RegionRestart{};
       }
     }
+  }
+
+  // Injection site for tracker slow paths (CAS/Int wait loops); a no-op
+  // without an injector.
+  void fault_point_slow_path(ThreadContext& ctx) {
+    if (injector_ != nullptr) slow_path_fault(ctx);
   }
 
   // Program-synchronization release operation: flush the lock buffer, bump
@@ -99,18 +195,53 @@ class Runtime {
   };
 
   // One round trip with `owner` (Fig 1 coordinate()). Spins responding to
-  // the caller's own requests; may throw RegionRestart for enforcer regions.
+  // the caller's own requests; may throw RegionRestart for enforcer regions,
+  // and CoordinationStalled under the kFailFast watchdog policy.
   CoordResult coordinate(ThreadContext& self, ThreadId owner);
+
+  // Bounded-wait variant: gives up after `max_epochs` backoff epochs and
+  // returns nullopt instead of spinning on a dead or stalled owner. Never
+  // consults the watchdog policy (the bound IS the policy); the abandoned
+  // ticket is answered by the owner's next safe point if it ever revives.
+  std::optional<CoordResult> coordinate_bounded(ThreadContext& self,
+                                                ThreadId owner,
+                                                std::uint64_t max_epochs);
 
   // Conservative coordination with every other registered thread (RdSh old
   // states, paper footnote 4). Returns true if any round trip was explicit.
   bool coordinate_all_others(ThreadContext& self);
 
+  // --- diagnostics -------------------------------------------------------------
+  ThreadLivenessSample sample_thread(ThreadId id) const;
+  std::vector<ThreadLivenessSample> sample_all_threads() const;
+
  private:
   // Responding safe point body; precondition: requests pending (or forced).
   void respond(ThreadContext& ctx);
 
+  // Out-of-line fault-injection bodies (keep faultinject out of the hot
+  // inline path; called only when injector_ != nullptr).
+  bool poll_fault_suppressed(ThreadContext& ctx);
+  void slow_path_fault(ThreadContext& ctx);
+
+  // Shared wait loop behind coordinate / coordinate_bounded. `max_epochs`
+  // of 0 means unbounded (watchdog-policed). Returns nullopt only for
+  // bounded waits that expired.
+  std::optional<CoordResult> coordinate_impl(ThreadContext& self,
+                                             ThreadId owner,
+                                             std::uint64_t max_epochs);
+
+  CoordStallDiagnostic build_stall_diagnostic(const ThreadContext& self,
+                                              const ThreadContext& remote,
+                                              std::uint64_t ticket,
+                                              std::uint64_t waited_epochs,
+                                              std::uint64_t stalled_epochs)
+      const;
+  void emit_stall_diagnostic(const CoordStallDiagnostic& diag) const;
+
+  RuntimeConfig cfg_;
   ThreadRegistry registry_;
+  FaultInjector* injector_;
   std::atomic<std::uint32_t> g_rd_sh_counter_{1};
 };
 

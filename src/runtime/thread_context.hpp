@@ -100,6 +100,11 @@ class ThreadContext {
   void* resp_log_self = nullptr;
   ThreadHook resp_log_fn = nullptr;  // recorder: log ResponseEvent
 
+  // Set by ThreadRegistry::mark_exited; read by the coordination watchdog so
+  // stall diagnostics can distinguish "parked forever because it exited"
+  // from "blocked at a program operation".
+  std::atomic<bool> exited{false};
+
   // --- shared coordination state (padded; written/read across threads) --------
   // status + response_watermark + release_counter: written by owner, read by
   // requesters. request_tickets: written by requesters, read by owner.
@@ -107,6 +112,10 @@ class ThreadContext {
     std::atomic<std::uint64_t> status{0};
     std::atomic<std::uint64_t> response_watermark{0};
     std::atomic<std::uint64_t> release_counter{0};
+    // Mirror of point_index published (relaxed) at each poll, so the
+    // watchdog can sample owner liveness without racing on the non-atomic
+    // point_index. Stale-but-unchanging last_poll is the stall signal.
+    std::atomic<std::uint64_t> last_poll{0};
   } owner_side;
   struct alignas(kCacheLine) RequesterSide {
     std::atomic<std::uint64_t> request_tickets{0};

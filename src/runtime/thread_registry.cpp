@@ -27,6 +27,7 @@ ThreadContext& ThreadRegistry::register_thread(Runtime* rt) {
 }
 
 void ThreadRegistry::mark_exited(ThreadContext& ctx) {
+  ctx.exited.store(true, std::memory_order_relaxed);
   // Park as blocked forever: implicit coordination always succeeds.
   std::uint64_t s = ctx.owner_side.status.load(std::memory_order_relaxed);
   HT_ASSERT(!ThreadStatus::is_blocked(s), "exiting thread already blocked");

@@ -197,6 +197,7 @@ class HybridTracker {
           if (opt_conflicting(ctx, m, s, /*is_store=*/true)) return;
           break;
         case StateKind::kInt:
+          rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           break;
 
@@ -308,6 +309,7 @@ class HybridTracker {
           if constexpr (kStats) ++ctx.stats.opt_fence;
           return;
         case StateKind::kInt:
+          rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           break;
 

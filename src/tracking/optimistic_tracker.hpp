@@ -84,6 +84,7 @@ class OptimisticTracker {
         continue;
       }
       if (s.is_intermediate()) {
+        rt.fault_point_slow_path(ctx);
         rt.respond_while_waiting(ctx);
         continue;
       }
@@ -126,6 +127,7 @@ class OptimisticTracker {
           continue;
         }
         case StateKind::kInt:
+          rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           continue;
         case StateKind::kWrExOpt: {

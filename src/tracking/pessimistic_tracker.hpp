@@ -103,6 +103,7 @@ class PessimisticTracker {
           return s;
         }
       }
+      runtime_->fault_point_slow_path(ctx);
       backoff.pause();
     }
   }

@@ -1,8 +1,8 @@
 #include "workload/profiles.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
-
-#include "common/assert.hpp"
 
 namespace ht {
 
@@ -140,12 +140,31 @@ std::vector<WorkloadConfig> recorder_profiles(double scale) {
   return v;
 }
 
-WorkloadConfig profile_by_name(const char* name, double scale) {
+std::optional<WorkloadConfig> find_profile(const char* name, double scale) {
   for (const WorkloadConfig& c : paper_profiles(scale)) {
     if (std::strcmp(c.name, name) == 0) return c;
   }
-  HT_ASSERT(false, "unknown workload profile name");
-  return WorkloadConfig{};
+  return std::nullopt;
+}
+
+std::string known_profile_names() {
+  std::string names;
+  for (const WorkloadConfig& c : paper_profiles(1.0)) {
+    if (!names.empty()) names += ' ';
+    names += c.name;
+  }
+  return names;
+}
+
+std::string unknown_profile_message(const char* name) {
+  return std::string("unknown workload profile '") + name +
+         "'; valid profiles: " + known_profile_names();
+}
+
+WorkloadConfig profile_by_name(const char* name, double scale) {
+  if (std::optional<WorkloadConfig> c = find_profile(name, scale)) return *c;
+  std::fprintf(stderr, "%s\n", unknown_profile_message(name).c_str());
+  std::exit(2);
 }
 
 }  // namespace ht

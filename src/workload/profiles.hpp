@@ -14,6 +14,8 @@
 // multiplies ops_per_thread for longer runs.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "workload/workload.hpp"
@@ -27,7 +29,20 @@ std::vector<WorkloadConfig> paper_profiles(double scale = 1.0);
 // optimistic replayer cannot replay).
 std::vector<WorkloadConfig> recorder_profiles(double scale = 1.0);
 
-// Look up one profile by name; aborts on unknown names.
+// Look up one profile by name; nullopt for unknown names.
+std::optional<WorkloadConfig> find_profile(const char* name,
+                                           double scale = 1.0);
+
+// "eclipse6 hsqldb6 ... pjbb2005" — every valid profile name.
+std::string known_profile_names();
+
+// The error message harnesses and examples print before exiting nonzero:
+// names the unknown profile and lists every valid one.
+std::string unknown_profile_message(const char* name);
+
+// Look up one profile by name; on unknown names prints
+// unknown_profile_message to stderr and exits with status 2 (callers that
+// want to handle the error themselves use find_profile).
 WorkloadConfig profile_by_name(const char* name, double scale = 1.0);
 
 }  // namespace ht

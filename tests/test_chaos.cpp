@@ -6,9 +6,11 @@
 // while holding read shares, PSRO storms) appear here with high probability.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "common/xorshift.hpp"
+#include "faultinject/fault_injector.hpp"
 #include "test_util.hpp"
 #include "tracking/hybrid_tracker.hpp"
 #include "tracking/optimistic_tracker.hpp"
@@ -101,6 +103,107 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(param_info.param.threads) + "_o" +
              std::to_string(param_info.param.objects);
     });
+
+// Injector-driven chaos: the same random schedules, but with the fault
+// injector perturbing them — slow polls, skipped poll windows, bounded
+// coordination stalls, tracker slow-path delays, and (in the second test)
+// injected thread deaths. The invariants must hold anyway; the watchdog runs
+// in kContinue mode so stall windows are diagnosed, not fatal.
+void run_injected_chaos(FaultConfig fc, std::uint64_t seed, int nthreads,
+                        int objects) {
+  FaultInjector inj(fc);
+  RuntimeConfig rc;
+  rc.fault_injector = &inj;
+  rc.watchdog.stall_epochs = 512;  // diagnose injected stalls while we wait
+  std::atomic<int> dumps{0};
+  rc.watchdog.sink = [&](const CoordStallDiagnostic&) { ++dumps; };
+  Runtime rt(rc);
+
+  HybridConfig hc;
+  hc.policy.cutoff_confl = 2;
+  hc.policy.inertia = 8;
+  hc.policy.k_confl = 4;
+  HybridTracker<true> tracker(rt, hc);
+
+  std::vector<TrackedVar<std::uint64_t>> vars(
+      static_cast<std::size_t>(objects));
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext& ctx = rt.register_thread();
+      tracker.attach_thread(ctx);
+      if (ctx.id == 0) {
+        for (auto& v : vars) v.init(tracker, ctx, 0);
+      }
+      ready.fetch_add(1);
+      while (ready.load() < nthreads) {
+        rt.poll(ctx);
+        std::this_thread::yield();
+      }
+      Xoshiro256 rng(seed * 977 + static_cast<std::uint64_t>(t));
+      const int ops = 2'000 + static_cast<int>(rng.next_below(2'000));
+      for (int i = 0; i < ops; ++i) {
+        auto& v = vars[rng.next_below(static_cast<std::uint64_t>(objects))];
+        switch (rng.next_below(8)) {
+          case 0:
+          case 1:
+          case 2:
+            v.store(tracker, ctx, rng.next());
+            break;
+          case 3:
+          case 4:
+          case 5:
+            (void)v.load(tracker, ctx);
+            break;
+          case 6:
+            rt.psro(ctx);
+            break;
+          case 7:
+            rt.begin_blocking(ctx);
+            if (rng.chance(1, 2)) std::this_thread::yield();
+            rt.end_blocking(ctx);
+            break;
+        }
+        rt.poll(ctx);
+        if (rng.chance(1, 8)) std::this_thread::yield();
+      }
+      rt.unregister_thread(ctx);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_GT(inj.total_fired(), 0u) << inj.summary();
+  for (auto& v : vars) {
+    const StateWord s = v.meta().load_state();
+    EXPECT_TRUE(s.is_optimistic() || s.is_pess_unlocked()) << s.to_string();
+  }
+}
+
+TEST(ChaosInjected, HybridSurvivesFaultySchedules) {
+  FaultConfig fc;
+  fc.seed = 99;
+  fc.delay_spins = 500;
+  fc.stall_polls = 64;
+  fc.enable(FaultSite::kPollDelay, 1'000)
+      .enable(FaultSite::kPollSkip, 3'000)
+      .enable(FaultSite::kCoordStall, 150)
+      .enable(FaultSite::kSlowPathDelay, 2'000);
+  run_injected_chaos(fc, 77, 4, 8);
+}
+
+TEST(ChaosInjected, HybridSurvivesInjectedDeaths) {
+  // Death suppresses only deterministic safe points: the dead thread still
+  // answers requests at its PSROs, blocking entries, and coordination waits,
+  // so progress stays live (the rationale in fault_injector.hpp).
+  FaultConfig fc;
+  fc.seed = 5;
+  fc.stall_polls = 32;
+  fc.enable(FaultSite::kThreadDeath, 150)
+      .enable(FaultSite::kPollSkip, 2'000)
+      .enable(FaultSite::kCoordStall, 100);
+  run_injected_chaos(fc, 123, 4, 4);
+}
 
 TEST(Chaos, OptimisticSurvivesBlockingStorms) {
   Runtime rt;

@@ -199,5 +199,18 @@ TEST(Backoff, EscalatesToYielding) {
   EXPECT_FALSE(b.yielding());
 }
 
+TEST(Backoff, EscalatesToSleepingAfterYieldBudget) {
+  Backoff b(/*spins_before_yield=*/1, /*yields_before_sleep=*/4);
+  EXPECT_FALSE(b.sleeping());
+  for (int i = 0; i < 4; ++i) b.pause();  // 1 spin + 3 yields
+  EXPECT_FALSE(b.sleeping());
+  b.pause();  // the yield budget is spent: waits are sleep ticks from here
+  EXPECT_TRUE(b.sleeping());
+  EXPECT_TRUE(b.yielding());  // sleeping implies the CPU was ceded
+  b.reset();
+  EXPECT_FALSE(b.sleeping());
+  EXPECT_FALSE(b.yielding());
+}
+
 }  // namespace
 }  // namespace ht

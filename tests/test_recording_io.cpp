@@ -1,5 +1,6 @@
-// Recording serialization: round trips, corruption rejection, and the
-// analysis / DOT-export utilities.
+// Recording serialization: round trips, corruption handling (v2 salvages
+// the longest valid prefix; v1 is all-or-nothing), and the analysis /
+// DOT-export utilities.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -56,28 +57,60 @@ TEST(RecordingIo, EmptyRecordingRoundTrips) {
 
 TEST(RecordingIo, RejectsMissingFile) {
   EXPECT_FALSE(load_recording("/nonexistent/dir/nothing.bin").has_value());
+  EXPECT_EQ(load_recording_ex("/nonexistent/dir/nothing.bin").error,
+            RecordingLoadError::kIo);
 }
 
 TEST(RecordingIo, RejectsBadMagic) {
   const std::string path = temp_path("ht_recording_badmagic.bin");
   std::ofstream(path, std::ios::binary) << "NOPE with some trailing bytes";
   EXPECT_FALSE(load_recording(path).has_value());
+  EXPECT_EQ(load_recording_ex(path).error, RecordingLoadError::kBadMagic);
   std::remove(path.c_str());
 }
 
-TEST(RecordingIo, RejectsTruncation) {
+TEST(RecordingIo, RejectsUnknownVersion) {
+  const std::string path = temp_path("ht_recording_badversion.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("HTRC", 4);
+    const std::uint32_t version = 7;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  }
+  const RecordingLoadResult r = load_recording_ex(path);
+  EXPECT_FALSE(r.recording.has_value());
+  EXPECT_EQ(r.error, RecordingLoadError::kBadVersion);
+  std::remove(path.c_str());
+}
+
+TEST(RecordingIo, TruncatedTrailerSalvagesFullContent) {
+  // Cutting into the trailer leaves every data chunk intact: the salvage is
+  // content-complete but flagged partial (the file cannot prove it is whole).
+  const Recording orig = sample_recording();
   const std::string path = temp_path("ht_recording_trunc.bin");
-  ASSERT_TRUE(save_recording(sample_recording(), path));
+  ASSERT_TRUE(save_recording(orig, path));
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size - 9);
-  EXPECT_FALSE(load_recording(path).has_value());
+
+  const RecordingLoadResult r = load_recording_ex(path);
+  EXPECT_FALSE(r.complete());
+  EXPECT_TRUE(r.partial);
+  EXPECT_EQ(r.error, RecordingLoadError::kTruncated);
+  ASSERT_TRUE(r.recording.has_value());
+  ASSERT_EQ(r.recording->threads.size(), orig.threads.size());
+  for (std::size_t t = 0; t < orig.threads.size(); ++t) {
+    EXPECT_EQ(r.recording->threads[t].events, orig.threads[t].events) << t;
+  }
+  EXPECT_NE(r.to_string().find("partial"), std::string::npos);
   std::remove(path.c_str());
 }
 
-TEST(RecordingIo, RejectsBitFlip) {
+TEST(RecordingIo, BitFlipSalvagesPrefixBeforeCorruption) {
   const std::string path = temp_path("ht_recording_flip.bin");
   ASSERT_TRUE(save_recording(sample_recording(), path));
   {
+    // Offset 20 is the first byte after the v2 header: the first chunk's
+    // thread id. Flipping it invalidates that chunk and everything after.
     std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
     f.seekp(20);
     char c;
@@ -86,7 +119,42 @@ TEST(RecordingIo, RejectsBitFlip) {
     f.seekp(20);
     f.put(static_cast<char>(c ^ 0x40));
   }
-  EXPECT_FALSE(load_recording(path).has_value());
+  const RecordingLoadResult r = load_recording_ex(path);
+  EXPECT_FALSE(r.complete());
+  EXPECT_TRUE(r.partial);
+  EXPECT_EQ(r.error, RecordingLoadError::kChecksum);
+  ASSERT_TRUE(r.recording.has_value());
+  EXPECT_EQ(r.chunks_loaded, 0u);
+  for (const ThreadLog& log : r.recording->threads) {
+    EXPECT_TRUE(log.events.empty());
+  }
+  std::remove(path.c_str());
+}
+
+// --- v1 compatibility ---------------------------------------------------------
+
+TEST(RecordingIo, V1FilesStillLoad) {
+  const Recording orig = sample_recording();
+  const std::string path = temp_path("ht_recording_v1.bin");
+  ASSERT_TRUE(save_recording_v1(orig, path));
+  const RecordingLoadResult r = load_recording_ex(path);
+  ASSERT_TRUE(r.complete()) << r.to_string();
+  ASSERT_EQ(r.recording->threads.size(), orig.threads.size());
+  for (std::size_t t = 0; t < orig.threads.size(); ++t) {
+    EXPECT_EQ(r.recording->threads[t].events, orig.threads[t].events) << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecordingIo, V1TruncationRejectsWholeFile) {
+  // v1 has one whole-file checksum: nothing can be salvaged.
+  const std::string path = temp_path("ht_recording_v1_trunc.bin");
+  ASSERT_TRUE(save_recording_v1(sample_recording(), path));
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 9);
+  const RecordingLoadResult r = load_recording_ex(path);
+  EXPECT_FALSE(r.recording.has_value());
+  EXPECT_EQ(r.error, RecordingLoadError::kTruncated);
   std::remove(path.c_str());
 }
 

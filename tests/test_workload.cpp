@@ -219,5 +219,17 @@ TEST(Profiles, ScaleMultipliesOps) {
   EXPECT_EQ(b.ops_per_thread, 2 * a.ops_per_thread);
 }
 
+TEST(Profiles, FindProfileReportsUnknownNamesWithoutAborting) {
+  EXPECT_TRUE(find_profile("avrora9").has_value());
+  EXPECT_FALSE(find_profile("no-such-profile").has_value());
+  const std::string names = known_profile_names();
+  for (const auto& c : paper_profiles()) {
+    EXPECT_NE(names.find(c.name), std::string::npos) << c.name;
+  }
+  const std::string msg = unknown_profile_message("no-such-profile");
+  EXPECT_NE(msg.find("no-such-profile"), std::string::npos);
+  EXPECT_NE(msg.find("xalan6"), std::string::npos);  // lists valid names
+}
+
 }  // namespace
 }  // namespace ht
