@@ -1,0 +1,228 @@
+#include "analysis/model_check.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ht::analysis {
+
+namespace {
+
+using SK = StateKind;
+
+bool is_locked(SK k) {
+  return k == SK::kWrExWLock || k == SK::kWrExRLock || k == SK::kRdExRLock ||
+         k == SK::kRdShRLock;
+}
+
+bool is_read_locked(SK k) {
+  return k == SK::kWrExRLock || k == SK::kRdExRLock || k == SK::kRdShRLock;
+}
+
+bool is_rd_sh(SK k) {
+  return k == SK::kRdShOpt || k == SK::kRdShPess || k == SK::kRdShRLock;
+}
+
+bool has_owner_field(SK k) {
+  return k == SK::kWrExOpt || k == SK::kRdExOpt || k == SK::kWrExPess ||
+         k == SK::kRdExPess || k == SK::kWrExWLock || k == SK::kWrExRLock ||
+         k == SK::kRdExRLock;
+}
+
+bool in_universe(const std::vector<SK>& universe, SK k) {
+  return std::find(universe.begin(), universe.end(), k) != universe.end();
+}
+
+void fail(ModelCheckResult& res, const TransitionKey& key, const Outcome& o,
+          const std::string& what) {
+  std::ostringstream os;
+  os << tracker_family_name(res.family) << ": [" << key.to_string() << "] "
+     << o.to_string() << ": " << what;
+  res.violations.push_back(os.str());
+}
+
+// Invariants over a single resolved key.
+void check_key(ModelCheckResult& res, const std::vector<SK>& universe,
+               const TransitionKey& k, const Outcome& o, bool opt_family) {
+  switch (o.kind) {
+    case OutcomeKind::kIllegal:
+      ++res.illegal_keys;
+      // Totality: a program may attempt any read or write against any state,
+      // so only unlock keys may be illegal.
+      if (k.access != AccessKind::kUnlock)
+        fail(res, k, o, "read/write key has no outcome (totality)");
+      return;
+
+    case OutcomeKind::kContended:
+      ++res.contended_keys;
+      // Contention only arises from someone else's lock or an in-flight
+      // coordination: Int or a locked state held by another thread.
+      if (k.from != SK::kInt && !is_locked(k.from))
+        fail(res, k, o, "contended outcome from an unlocked state");
+      if (k.access == AccessKind::kUnlock)
+        fail(res, k, o, "unlock can never contend (flush holds the lock)");
+      return;
+
+    case OutcomeKind::kTransition:
+      break;
+  }
+  ++res.legal_transitions;
+
+  // Closure: successors stay inside the family's state universe.
+  if (!in_universe(universe, o.to))
+    fail(res, k, o, "successor outside the family's state universe");
+
+  // Mechanism discipline.
+  if ((o.mechanism == Mechanism::kFastPath || o.mechanism == Mechanism::kFence)
+      && o.to != k.from)
+    fail(res, k, o, "fast-path/fence row changes the state word");
+  if (o.begins_coordination != (o.mechanism == Mechanism::kCoordination))
+    fail(res, k, o, "coordination <=> routed through Int mismatch");
+  if (o.mechanism == Mechanism::kWait)
+    fail(res, k, o, "wait mechanism on a committed transition");
+
+  // Ownership: owner-bearing successors always name the actor (the relation
+  // never installs a state on another thread's behalf), and only they do.
+  if (o.to_owned_by_actor != has_owner_field(o.to))
+    fail(res, k, o, "ownership flag disagrees with successor's owner field");
+
+  // RdSh epoch-counter effects appear exactly on RdSh successors.
+  if ((o.counter != CounterEffect::kNone) != is_rd_sh(o.to))
+    fail(res, k, o, "counter effect disagrees with RdSh successor");
+  if (o.counter == CounterEffect::kKeep && !is_rd_sh(k.from))
+    fail(res, k, o, "keep-counter from a state that carries no counter");
+
+  // Holder-count effects appear exactly on RdShRLock successors.
+  if (o.holders != HolderEffect::kNone && o.to != SK::kRdShRLock)
+    fail(res, k, o, "holder effect on a non-RdShRLock successor");
+  if (o.to == SK::kRdShRLock) {
+    if (k.from != SK::kRdShRLock &&
+        o.holders != HolderEffect::kOne && o.holders != HolderEffect::kTwo)
+      fail(res, k, o, "RdShRLock formation without an initial holder count");
+    if (k.from == SK::kRdShRLock && o.mechanism != Mechanism::kFastPath &&
+        o.holders != HolderEffect::kIncrement &&
+        o.holders != HolderEffect::kDecrement)
+      fail(res, k, o, "RdShRLock-to-RdShRLock CAS without a holder delta");
+  }
+
+  // ---- Deferred-unlocking invariants (§3.1) -------------------------------
+  if (opt_family) {
+    if (o.enters_lock_buffer || o.enters_rd_set || o.requires_lock_buffer ||
+        o.requires_rd_set || k.access == AccessKind::kUnlock)
+      fail(res, k, o, "optimistic-only family touches deferred-unlock state");
+    return;
+  }
+  // A locked successor means the actor holds a buffered lock: freshly pushed
+  // (enters) or held from an earlier access (requires).
+  if (is_locked(o.to) && !o.enters_lock_buffer && !o.requires_lock_buffer)
+    fail(res, k, o, "locked successor without a lock-buffer entry");
+  if ((o.enters_lock_buffer || o.requires_lock_buffer) && !is_locked(o.to) &&
+      k.access != AccessKind::kUnlock)
+    fail(res, k, o, "lock-buffer bookkeeping on an unlocked successor");
+  // Leaving the locked region happens only via the owner's unlock flush.
+  if (is_locked(k.from) && !is_locked(o.to)) {
+    if (k.access != AccessKind::kUnlock)
+      fail(res, k, o, "locked state left by a plain access, not a flush");
+  }
+  if (k.access == AccessKind::kUnlock) {
+    if (!is_locked(k.from))
+      fail(res, k, o, "unlock of a state that is not locked");
+    if (k.rel != ActorRel::kOwner)
+      fail(res, k, o, "unlock by a thread that does not hold the lock");
+    if (!o.requires_lock_buffer)
+      fail(res, k, o, "unlock row without lock-buffer membership");
+    if (o.enters_lock_buffer || o.enters_rd_set)
+      fail(res, k, o, "unlock inserts into deferred-unlock structures");
+  }
+  // Read locks imply read-set membership (how reentrancy and sole-holder
+  // upgrades are detected); write locks never insert into the read set.
+  if (o.enters_rd_set && !is_read_locked(o.to))
+    fail(res, k, o, "read-set insert without a read-locked successor");
+  if (is_read_locked(o.to) && !o.enters_rd_set && !o.requires_rd_set)
+    fail(res, k, o, "read-locked successor without read-set membership");
+}
+
+}  // namespace
+
+ModelCheckResult check_model(TrackerFamily family) {
+  ModelCheckResult res;
+  res.family = family;
+  const std::vector<SK>& universe = family_states(family);
+  const std::vector<TransitionRule>& rules = transition_rules(family);
+  const bool opt_family = family == TrackerFamily::kOptimistic ||
+                          family == TrackerFamily::kIdeal;
+
+  // Rule-table sanity: every rule's pattern lies inside the universe (a rule
+  // that can never match is a typo, not a legal-but-unused row).
+  std::vector<std::size_t> rule_hits(rules.size(), 0);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (!in_universe(universe, rules[i].from)) {
+      std::ostringstream os;
+      os << tracker_family_name(family) << ": rule " << i
+         << " matches a state outside the family universe ("
+         << state_kind_name(rules[i].from) << ")";
+      res.violations.push_back(os.str());
+    }
+  }
+
+  for (const TransitionKey& key : enumerate_keys(family)) {
+    ++res.keys_checked;
+    // Determinism: at most one rule may match any concrete key.
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i].matches(key)) {
+        ++matches;
+        ++rule_hits[i];
+      }
+    }
+    if (matches > 1) {
+      fail(res, key, transition_outcome(family, key),
+           "matches " + std::to_string(matches) + " rules (determinism)");
+    }
+    check_key(res, universe, key, transition_outcome(family, key), opt_family);
+  }
+
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rule_hits[i] == 0) {
+      std::ostringstream os;
+      os << tracker_family_name(family) << ": rule " << i << " ("
+         << state_kind_name(rules[i].from) << " / "
+         << access_kind_name(rules[i].access) << ") matches no key (dead row)";
+      res.violations.push_back(os.str());
+    }
+  }
+
+  // Closure, reachability half: every universe state is reachable from the
+  // initial state through legal transitions. Int is the transient stop of
+  // every coordination-routed rule, so those rules make it reachable.
+  std::set<SK> reachable{family_initial_state(family)};
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (const TransitionKey& key : enumerate_keys(family)) {
+      if (!reachable.count(key.from)) continue;
+      const Outcome o = transition_outcome(family, key);
+      if (o.kind != OutcomeKind::kTransition) continue;
+      if (reachable.insert(o.to).second) grew = true;
+      if (o.begins_coordination && reachable.insert(SK::kInt).second)
+        grew = true;
+    }
+  }
+  for (SK s : universe) {
+    if (!reachable.count(s)) {
+      std::ostringstream os;
+      os << tracker_family_name(family) << ": state " << state_kind_name(s)
+         << " unreachable from " << state_kind_name(family_initial_state(family));
+      res.violations.push_back(os.str());
+    }
+  }
+  return res;
+}
+
+std::vector<ModelCheckResult> check_all_models() {
+  return {check_model(TrackerFamily::kHybrid),
+          check_model(TrackerFamily::kOptimistic),
+          check_model(TrackerFamily::kIdeal),
+          check_model(TrackerFamily::kPessAlone)};
+}
+
+}  // namespace ht::analysis

@@ -1,0 +1,52 @@
+// Offline exhaustive check of the transition model (analysis layer, part 1).
+//
+// Enumerates the FULL key space of each tracker family — every (state,
+// access kind, owner/other, sole-holder, policy, WrExRLock mode) tuple from
+// enumerate_keys() — and verifies the properties the paper's soundness
+// argument rests on:
+//
+//   closure        every legal successor state is in the family's universe,
+//                  and every universe state is reachable from the initial
+//                  state through legal transitions;
+//   determinism    no key matches more than one rule, so the relation is a
+//                  function of the key (the paper's tables are unambiguous);
+//   totality       every read/write key resolves to a transition or a
+//                  contended wait — a program may attempt any access against
+//                  any state, so no read/write may be illegal;
+//   deferred       lock-buffer/read-set bookkeeping is consistent: locked
+//   unlocking      states are entered only with a buffered lock, left only
+//                  by an unlock flush by the holder, read locks imply
+//                  read-set membership, and optimistic families never touch
+//                  either structure (§3.1);
+//   mechanisms     fast paths never change the state word, coordination is
+//                  exactly the rules routed through Int, and RdSh epoch /
+//                  holder-count effects appear exactly on RdSh successors.
+//
+// This runs in tests (tier 1) and is cheap: the largest family has 432 keys.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/transition_model.hpp"
+
+namespace ht::analysis {
+
+struct ModelCheckResult {
+  TrackerFamily family{};
+  std::size_t keys_checked = 0;
+  std::size_t legal_transitions = 0;
+  std::size_t contended_keys = 0;
+  std::size_t illegal_keys = 0;
+  std::vector<std::string> violations;  // empty iff the model is consistent
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Checks one family's relation exhaustively.
+ModelCheckResult check_model(TrackerFamily family);
+
+// Checks all four families; concatenates violations.
+std::vector<ModelCheckResult> check_all_models();
+
+}  // namespace ht::analysis

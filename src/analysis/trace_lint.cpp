@@ -1,0 +1,192 @@
+#include "analysis/trace_lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "recorder/recording_io.hpp"
+
+namespace ht::analysis {
+
+namespace {
+
+void issue(LintResult& res, std::size_t thread, std::size_t event,
+           std::string message) {
+  res.issues.push_back(
+      {static_cast<ThreadId>(thread), event, std::move(message)});
+}
+
+// Stamped (nonzero-value) responses of one thread, in program order.
+struct StampedResponses {
+  std::vector<std::size_t> index;   // event index in the thread's log
+  std::vector<std::uint64_t> value; // post-bump counter stamps
+  bool fully_stamped = true;        // no zero-valued responses seen
+};
+
+StampedResponses collect_responses(const ThreadLog& log) {
+  StampedResponses r;
+  for (std::size_t i = 0; i < log.events.size(); ++i) {
+    const LogEvent& e = log.events[i];
+    if (e.type != LogEventType::kResponse) continue;
+    if (e.value == 0) {
+      r.fully_stamped = false;  // pre-stamping recording (or legacy v1)
+      continue;
+    }
+    r.index.push_back(i);
+    r.value.push_back(e.value);
+  }
+  return r;
+}
+
+}  // namespace
+
+LintResult lint_recording(const Recording& recording, bool salvaged) {
+  LintResult res;
+  res.salvaged_prefix = salvaged;
+  res.structure = validate_recording(recording);
+  // The graph checks assume in-order logs and in-range source threads;
+  // structural corruption already fails the lint, so stop here.
+  if (!res.structure.ok()) return res;
+
+  const std::size_t n = recording.threads.size();
+  std::vector<StampedResponses> responses(n);
+  bool stamps_consistent = true;
+  for (std::size_t t = 0; t < n; ++t) {
+    const ThreadLog& log = recording.threads[t];
+    responses[t] = collect_responses(log);
+    const StampedResponses& r = responses[t];
+    // Release counters are bumped monotonically and each logged response is
+    // itself a bump, so stamps are strictly increasing and (when every
+    // response carries a stamp) the k-th is at least k.
+    for (std::size_t k = 0; k < r.value.size(); ++k) {
+      if (k > 0 && r.value[k] <= r.value[k - 1]) {
+        issue(res, t, r.index[k],
+              "response counter stamp not strictly increasing");
+        stamps_consistent = false;
+      }
+      if (r.fully_stamped && r.value[k] < k + 1) {
+        issue(res, t, r.index[k],
+              "response counter stamp below the response count (counter "
+              "not monotone)");
+        stamps_consistent = false;
+      }
+    }
+    // For a fixed (sink, source) pair, edge values are reads of the
+    // source's monotone counter taken at program-ordered moments, so they
+    // are non-decreasing along the sink's log.
+    std::vector<std::uint64_t> last_value(n, 0);
+    for (std::size_t i = 0; i < log.events.size(); ++i) {
+      const LogEvent& e = log.events[i];
+      if (e.type != LogEventType::kEdge) continue;
+      if (e.value < last_value[e.src]) {
+        issue(res, t, i,
+              "edge value decreases for the same source thread (source "
+              "release counter not monotone)");
+      }
+      last_value[e.src] = e.value;
+    }
+  }
+  // Inconsistent stamps would make the dependence graph meaningless; the
+  // lint already failed above.
+  if (!stamps_consistent) return res;
+
+  // ---- Cross-thread dependence graph --------------------------------------
+  // Nodes: every log event. Arcs: program order within each thread, plus,
+  // for each edge event (t, i) requiring source s to reach counter v, an arc
+  // from the LAST response of s stamped <= v (earlier ones follow through
+  // s's program order). A response stamped w <= v happened in real time
+  // before any access that waited for s's counter to reach v, so real-time
+  // order contains every arc: a genuine recording's graph is acyclic, and
+  // acyclicity (a successful Kahn sort) is exactly "every recorded wr->rd
+  // edge is consistent with a topological order".
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (std::size_t t = 0; t < n; ++t)
+    offset[t + 1] = offset[t] + recording.threads[t].events.size();
+  const std::size_t nodes = offset[n];
+  res.graph_nodes = nodes;
+  std::vector<std::vector<std::size_t>> succ(nodes);
+  std::vector<std::size_t> indegree(nodes, 0);
+  auto add_arc = [&](std::size_t u, std::size_t v) {
+    succ[u].push_back(v);
+    ++indegree[v];
+  };
+  for (std::size_t t = 0; t < n; ++t) {
+    const ThreadLog& log = recording.threads[t];
+    for (std::size_t i = 0; i + 1 < log.events.size(); ++i)
+      add_arc(offset[t] + i, offset[t] + i + 1);
+    for (std::size_t i = 0; i < log.events.size(); ++i) {
+      const LogEvent& e = log.events[i];
+      if (e.type != LogEventType::kEdge) continue;
+      const StampedResponses& src = responses[e.src];
+      // Last stamp <= e.value (stamps are strictly increasing here).
+      auto it = std::upper_bound(src.value.begin(), src.value.end(), e.value);
+      if (it == src.value.begin()) continue;  // satisfied by unlogged bumps
+      const std::size_t j = src.index[(it - src.value.begin()) - 1];
+      add_arc(offset[e.src] + j, offset[t] + i);
+      ++res.graph_arcs;
+    }
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t u = 0; u < nodes; ++u)
+    if (indegree[u] == 0) ready.push_back(u);
+  std::size_t sorted = 0;
+  while (!ready.empty()) {
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    ++sorted;
+    for (std::size_t v : succ[u])
+      if (--indegree[v] == 0) ready.push_back(v);
+  }
+  if (sorted != nodes) {
+    // Report the first event stuck in a cycle for diagnosability.
+    for (std::size_t t = 0; t < n; ++t) {
+      bool found = false;
+      for (std::size_t i = 0; i < recording.threads[t].events.size(); ++i) {
+        if (indegree[offset[t] + i] > 0) {
+          std::ostringstream os;
+          os << "cross-thread dependence graph has a cycle ("
+             << (nodes - sorted)
+             << " event(s) unorderable; no topological order exists)";
+          issue(res, t, i, os.str());
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+  }
+  return res;
+}
+
+std::string LintResult::to_string() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "lint OK: " << graph_nodes << " event(s), " << graph_arcs
+       << " cross-thread arc(s), topological order exists";
+  } else if (!structure.ok()) {
+    os << "structure: " << structure.to_string();
+  } else {
+    os << issues.size() << " lint issue(s):";
+    for (const LintIssue& i : issues)
+      os << "\n  T" << i.thread << " event " << i.event << ": " << i.message;
+  }
+  if (salvaged_prefix)
+    os << " [salvaged prefix: file was truncated or corrupted]";
+  return os.str();
+}
+
+std::string FileLintResult::to_string() const {
+  std::ostringstream os;
+  os << load.to_string();
+  if (load.recording.has_value()) os << "; " << lint.to_string();
+  return os.str();
+}
+
+FileLintResult lint_recording_file(const std::string& path) {
+  FileLintResult r;
+  r.load = load_recording_ex(path);
+  if (r.load.recording.has_value())
+    r.lint = lint_recording(*r.load.recording, r.load.partial);
+  return r;
+}
+
+}  // namespace ht::analysis

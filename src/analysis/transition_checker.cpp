@@ -1,0 +1,135 @@
+#include "analysis/transition_checker.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ht::analysis {
+
+namespace {
+
+std::atomic<std::uint64_t> g_checks{0};
+std::atomic<std::uint64_t> g_violations{0};
+std::atomic<bool> g_abort{true};
+
+TransitionKey key_of(const TransitionObs& obs) {
+  TransitionKey k;
+  k.from = obs.from.kind();
+  k.access = obs.access;
+  k.rel = obs.rel;
+  k.sole_holder = obs.sole_holder;
+  k.policy = obs.policy;
+  k.mode = obs.mode;
+  return k;
+}
+
+void report(const TransitionObs& obs, const Outcome& outcome,
+            const char* what) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  const TransitionKey key = key_of(obs);
+  std::ostringstream os;
+  os << "=== transition-conformance violation ===\n"
+     << "  tracker : " << tracker_family_name(obs.family) << "\n"
+     << "  thread  : T" << obs.actor << "\n"
+     << "  object  : " << obs.object << "\n"
+     << "  key     : " << key.to_string() << "\n"
+     << "  from    : " << obs.from.to_string() << "\n"
+     << "  to      : " << obs.to.to_string() << "\n"
+     << "  taken   : " << mechanism_name(obs.taken)
+     << (obs.in_lock_buffer ? " [in lock buffer]" : "")
+     << (obs.in_rd_set ? " [in rd set]" : "") << "\n"
+     << "  model   : " << outcome.to_string() << "\n"
+     << "  problem : " << what << "\n";
+  const std::string text = os.str();
+  std::fputs(text.c_str(), stderr);
+  std::fflush(stderr);
+  if (g_abort.load(std::memory_order_relaxed)) std::abort();
+}
+
+}  // namespace
+
+void check_transition(const TransitionObs& obs) {
+  g_checks.fetch_add(1, std::memory_order_relaxed);
+  const Outcome o = transition_outcome(obs.family, key_of(obs));
+  if (o.kind == OutcomeKind::kIllegal)
+    return report(obs, o, "tracker took a transition the model calls illegal");
+  if (o.kind == OutcomeKind::kContended)
+    return report(obs, o,
+                  "tracker installed a state where the model requires "
+                  "coordinate-and-retry");
+  if (obs.to.kind() != o.to)
+    return report(obs, o, "successor state kind disagrees with the model");
+  if (obs.taken != o.mechanism)
+    return report(obs, o, "mechanism disagrees with the model");
+  if (o.to_owned_by_actor && obs.to.has_owner() && obs.to.tid() != obs.actor)
+    return report(obs, o, "successor owned by a different thread");
+  switch (o.counter) {
+    case CounterEffect::kNone:
+      break;
+    case CounterEffect::kKeep:
+      if (obs.to.counter() != obs.from.counter())
+        return report(obs, o, "RdSh epoch changed on a keep-counter row");
+      break;
+    case CounterEffect::kFresh:
+      // Fresh epochs come off a monotone global counter that starts at 1.
+      if (obs.to.counter() < 1)
+        return report(obs, o, "fresh RdSh epoch is zero");
+      if (obs.from.is_rd_sh() && obs.to.counter() <= obs.from.counter())
+        return report(obs, o, "fresh RdSh epoch not newer than the old one");
+      break;
+  }
+  switch (o.holders) {
+    case HolderEffect::kNone:
+      break;
+    case HolderEffect::kOne:
+      if (obs.to.rdlock_count() != 1)
+        return report(obs, o, "holder count != 1 on a formation row");
+      break;
+    case HolderEffect::kTwo:
+      if (obs.to.rdlock_count() != 2)
+        return report(obs, o, "holder count != 2 on a join row");
+      break;
+    case HolderEffect::kIncrement:
+      if (obs.to.rdlock_count() != obs.from.rdlock_count() + 1)
+        return report(obs, o, "holder count did not increment");
+      break;
+    case HolderEffect::kDecrement:
+      if (obs.to.rdlock_count() + 1 != obs.from.rdlock_count())
+        return report(obs, o, "holder count did not decrement");
+      break;
+  }
+  if ((o.enters_lock_buffer || o.requires_lock_buffer) && !obs.in_lock_buffer)
+    return report(obs, o, "object missing from the actor's lock buffer");
+  if ((o.enters_rd_set || o.requires_rd_set) && !obs.in_rd_set)
+    return report(obs, o, "object missing from the actor's read set");
+}
+
+void check_contended(const TransitionObs& obs) {
+  g_checks.fetch_add(1, std::memory_order_relaxed);
+  const Outcome o = transition_outcome(obs.family, key_of(obs));
+  if (o.kind != OutcomeKind::kContended)
+    report(obs, o,
+           "tracker is waiting where the model expects an uncontended "
+           "transition");
+}
+
+std::uint64_t transition_checks() {
+  return g_checks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t transition_violations() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_transition_counters() {
+  g_checks.store(0, std::memory_order_relaxed);
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+void set_abort_on_violation(bool abort_on_violation) {
+  g_abort.store(abort_on_violation, std::memory_order_relaxed);
+}
+
+}  // namespace ht::analysis

@@ -1,0 +1,74 @@
+// Runtime shadow checker (analysis layer, part 2): validates every
+// transition the trackers actually take against the conformance model.
+//
+// Built only under -DHT_CHECK_TRANSITIONS=ON (which defines
+// HT_CHECK_TRANSITIONS_ENABLED); the HT_CHECK_TRANSITION /
+// HT_CHECK_CONTENDED macros in tracking/tracker_common.hpp expand to
+// nothing otherwise, so release builds pay zero cost — the observation
+// structs are never even constructed.
+//
+// Call sites hand the checker what the model needs and what they already
+// know: the state word they observed, the word they installed, the access
+// kind, the actor's relation to the old state, the policy branch taken, and
+// post-transition lock-buffer/read-set membership. The checker resolves the
+// model's outcome for that key and cross-checks successor kind, mechanism,
+// ownership, RdSh epoch/holder arithmetic, and deferred-unlock bookkeeping.
+// A violation prints a full thread/object/state diagnostic and (by default)
+// aborts, so a nonconforming tracker cannot pass the test suite quietly.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/transition_model.hpp"
+#include "metadata/state_word.hpp"
+
+namespace ht::analysis {
+
+struct TransitionObs {
+  TrackerFamily family = TrackerFamily::kHybrid;
+  ThreadId actor = kNoThread;
+  const void* object = nullptr;
+  StateWord from{};
+  StateWord to{};  // ignored by check_contended
+  AccessKind access = AccessKind::kRead;
+  ActorRel rel = ActorRel::kOwner;
+  bool sole_holder = false;
+  PolicyChoice policy = PolicyChoice::kOpt;
+  WrExReadMode mode = WrExReadMode::kFull;
+  Mechanism taken = Mechanism::kFastPath;
+  bool in_lock_buffer = false;  // membership AFTER the transition's bookkeeping
+  bool in_rd_set = false;
+};
+
+// Validates a committed transition; prints diagnostics and aborts (or just
+// counts, see set_abort_on_violation) if the model disagrees.
+void check_transition(const TransitionObs& obs);
+
+// Validates that the model classifies this key as contended (the caller is
+// about to coordinate-and-retry rather than install a state).
+void check_contended(const TransitionObs& obs);
+
+// Total checks performed / violations observed, for tests and reporting.
+std::uint64_t transition_checks();
+std::uint64_t transition_violations();
+void reset_transition_counters();
+
+// Tests exercise the reporter by disabling the abort; default is true.
+void set_abort_on_violation(bool abort_on_violation);
+
+// Membership helpers call sites inline into HT_CHECK_TRANSITION arguments,
+// so the (linear) lock-buffer scan happens only in checking builds.
+// Templated to keep this header free of runtime/thread-context includes.
+template <typename Ctx, typename Obj>
+bool lb_member(const Ctx& ctx, const Obj* m) {
+  for (const auto* p : ctx.lock_buffer)
+    if (p == m) return true;
+  return false;
+}
+
+template <typename Ctx, typename Obj>
+bool rs_member(const Ctx& ctx, const Obj* m) {
+  return ctx.rd_set.contains(m);
+}
+
+}  // namespace ht::analysis

@@ -1,0 +1,513 @@
+#include "analysis/transition_model.hpp"
+
+#include <sstream>
+
+namespace ht::analysis {
+
+const char* tracker_family_name(TrackerFamily f) {
+  switch (f) {
+    case TrackerFamily::kHybrid: return "hybrid";
+    case TrackerFamily::kOptimistic: return "optimistic";
+    case TrackerFamily::kIdeal: return "ideal";
+    case TrackerFamily::kPessAlone: return "pessimistic";
+  }
+  return "?";
+}
+
+const char* access_kind_name(AccessKind a) {
+  switch (a) {
+    case AccessKind::kRead: return "read";
+    case AccessKind::kWrite: return "write";
+    case AccessKind::kUnlock: return "unlock";
+  }
+  return "?";
+}
+
+const char* mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kFastPath: return "fast-path";
+    case Mechanism::kFence: return "fence";
+    case Mechanism::kCas: return "cas";
+    case Mechanism::kStore: return "store";
+    case Mechanism::kCoordination: return "coordination";
+    case Mechanism::kWait: return "wait";
+  }
+  return "?";
+}
+
+std::string Outcome::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case OutcomeKind::kIllegal:
+      os << "illegal";
+      break;
+    case OutcomeKind::kContended:
+      os << "contended";
+      break;
+    case OutcomeKind::kTransition:
+      os << "-> " << state_kind_name(to) << " via " << mechanism_name(mechanism);
+      if (to_owned_by_actor) os << " [actor-owned]";
+      if (counter == CounterEffect::kKeep) os << " [keep-counter]";
+      if (counter == CounterEffect::kFresh) os << " [fresh-counter]";
+      switch (holders) {
+        case HolderEffect::kNone: break;
+        case HolderEffect::kOne: os << " [holders=1]"; break;
+        case HolderEffect::kTwo: os << " [holders=2]"; break;
+        case HolderEffect::kIncrement: os << " [holders+1]"; break;
+        case HolderEffect::kDecrement: os << " [holders-1]"; break;
+      }
+      if (enters_lock_buffer) os << " [+lock-buffer]";
+      if (enters_rd_set) os << " [+rd-set]";
+      if (requires_lock_buffer) os << " [needs-lock-buffer]";
+      if (requires_rd_set) os << " [needs-rd-set]";
+      if (begins_coordination) os << " [via Int]";
+      break;
+  }
+  if (note[0] != '\0') os << " (" << note << ")";
+  return os.str();
+}
+
+std::string TransitionKey::to_string() const {
+  std::ostringstream os;
+  os << state_kind_name(from) << " / " << access_kind_name(access) << " by "
+     << (rel == ActorRel::kOwner ? "owner" : "other");
+  if (from == StateKind::kRdShRLock) os << (sole_holder ? " (sole)" : " (n>1)");
+  os << " / policy=" << (policy == PolicyChoice::kOpt ? "opt" : "pess");
+  switch (mode) {
+    case WrExReadMode::kFull: break;
+    case WrExReadMode::kOmitWrExRLock: os << " / mode=omit-wrexrlock"; break;
+    case WrExReadMode::kUnsoundDowngrade: os << " / mode=unsound-downgrade"; break;
+  }
+  return os.str();
+}
+
+bool TransitionRule::matches(const TransitionKey& k) const {
+  if (from != k.from || access != k.access) return false;
+  if (rel >= 0 && static_cast<ActorRel>(rel) != k.rel) return false;
+  if (sole >= 0 && (sole != 0) != k.sole_holder) return false;
+  if (policy >= 0 && static_cast<PolicyChoice>(policy) != k.policy) return false;
+  if (mode >= 0 && static_cast<WrExReadMode>(mode) != k.mode) return false;
+  return true;
+}
+
+namespace {
+
+using SK = StateKind;
+using AK = AccessKind;
+using MK = Mechanism;
+using CE = CounterEffect;
+using HE = HolderEffect;
+
+constexpr std::int8_t kAny = -1;
+constexpr std::int8_t kOwner = static_cast<std::int8_t>(ActorRel::kOwner);
+constexpr std::int8_t kOther = static_cast<std::int8_t>(ActorRel::kOther);
+constexpr std::int8_t kOpt = static_cast<std::int8_t>(PolicyChoice::kOpt);
+constexpr std::int8_t kPess = static_cast<std::int8_t>(PolicyChoice::kPess);
+constexpr std::int8_t kModeFull =
+    static_cast<std::int8_t>(WrExReadMode::kFull);
+constexpr std::int8_t kModeOmit =
+    static_cast<std::int8_t>(WrExReadMode::kOmitWrExRLock);
+constexpr std::int8_t kModeUnsound =
+    static_cast<std::int8_t>(WrExReadMode::kUnsoundDowngrade);
+
+// Shorthand constructors so the tables below read like the paper's tables.
+Outcome same(SK to, MK mech, bool owned, CE counter = CE::kNone,
+             const char* note = "") {
+  Outcome o;
+  o.kind = OutcomeKind::kTransition;
+  o.to = to;
+  o.mechanism = mech;
+  o.to_owned_by_actor = owned;
+  o.counter = counter;
+  o.note = note;
+  return o;
+}
+
+Outcome contended(const char* note = "") {
+  Outcome o;
+  o.kind = OutcomeKind::kContended;
+  o.mechanism = Mechanism::kWait;
+  o.note = note;
+  return o;
+}
+
+struct Fx {
+  CE counter = CE::kNone;
+  HE holders = HE::kNone;
+  bool lb = false;        // enters lock buffer
+  bool rs = false;        // enters read set
+  bool needs_lb = false;  // already in lock buffer
+  bool needs_rs = false;  // already in read set
+  bool via_int = false;   // routed through the Int state + coordination
+};
+
+Outcome go(SK to, MK mech, bool owned, Fx fx, const char* note = "") {
+  Outcome o;
+  o.kind = OutcomeKind::kTransition;
+  o.to = to;
+  o.mechanism = mech;
+  o.to_owned_by_actor = owned;
+  o.counter = fx.counter;
+  o.holders = fx.holders;
+  o.enters_lock_buffer = fx.lb;
+  o.enters_rd_set = fx.rs;
+  o.requires_lock_buffer = fx.needs_lb;
+  o.requires_rd_set = fx.needs_rs;
+  o.begins_coordination = fx.via_int;
+  o.note = note;
+  return o;
+}
+
+std::vector<TransitionRule> build_hybrid() {
+  std::vector<TransitionRule> r;
+  // ---- WrExOpt_T (Table 1 rows + Table 3 conflict landing) -----------------
+  r.push_back({SK::kWrExOpt, AK::kWrite, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kWrExOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kWrExOpt, AK::kWrite, kOther, kAny, kOpt, kAny,
+               go(SK::kWrExOpt, MK::kCoordination, true, {.via_int = true},
+                  "conflicting write, stay optimistic")});
+  r.push_back({SK::kWrExOpt, AK::kWrite, kOther, kAny, kPess, kAny,
+               go(SK::kWrExWLock, MK::kCoordination, true,
+                  {.lb = true, .via_int = true},
+                  "conflicting write, go pessimistic")});
+  r.push_back({SK::kWrExOpt, AK::kRead, kOther, kAny, kOpt, kAny,
+               go(SK::kRdExOpt, MK::kCoordination, true, {.via_int = true},
+                  "conflicting read, stay optimistic")});
+  r.push_back({SK::kWrExOpt, AK::kRead, kOther, kAny, kPess, kAny,
+               go(SK::kRdExRLock, MK::kCoordination, true,
+                  {.lb = true, .rs = true, .via_int = true},
+                  "conflicting read, go pessimistic")});
+
+  // ---- RdExOpt_T -----------------------------------------------------------
+  r.push_back({SK::kRdExOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kRdExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kRdExOpt, AK::kWrite, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kCas, true, CE::kNone, "upgrading")});
+  r.push_back({SK::kRdExOpt, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdShOpt, MK::kCas, false, {.counter = CE::kFresh},
+                  "upgrading: second reader shares")});
+  r.push_back({SK::kRdExOpt, AK::kWrite, kOther, kAny, kOpt, kAny,
+               go(SK::kWrExOpt, MK::kCoordination, true, {.via_int = true})});
+  r.push_back({SK::kRdExOpt, AK::kWrite, kOther, kAny, kPess, kAny,
+               go(SK::kWrExWLock, MK::kCoordination, true,
+                  {.lb = true, .via_int = true})});
+
+  // ---- RdShOpt_c (rel kOwner = rdShCount up to date, kOther = stale) -------
+  r.push_back({SK::kRdShOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kRdShOpt, MK::kFastPath, false, CE::kKeep)});
+  r.push_back({SK::kRdShOpt, AK::kRead, kOther, kAny, kAny, kAny,
+               same(SK::kRdShOpt, MK::kFence, false, CE::kKeep,
+                    "fence transition: first read of this epoch")});
+  r.push_back({SK::kRdShOpt, AK::kWrite, kAny, kAny, kOpt, kAny,
+               go(SK::kWrExOpt, MK::kCoordination, true, {.via_int = true},
+                  "coordinate with all others (footnote 4)")});
+  r.push_back({SK::kRdShOpt, AK::kWrite, kAny, kAny, kPess, kAny,
+               go(SK::kWrExWLock, MK::kCoordination, true,
+                  {.lb = true, .via_int = true})});
+
+  // ---- Int_T: only the installer advances it; everyone else waits ----------
+  r.push_back({SK::kInt, AK::kRead, kAny, kAny, kAny, kAny,
+               contended("respond while waiting, Fig 1 line 18")});
+  r.push_back({SK::kInt, AK::kWrite, kAny, kAny, kAny, kAny,
+               contended("respond while waiting, Fig 1 line 18")});
+
+  // ---- WrExPess_T (unlocked; uncontended CAS acquires, Table 3) ------------
+  r.push_back({SK::kWrExPess, AK::kWrite, kAny, kAny, kAny, kAny,
+               go(SK::kWrExWLock, MK::kCas, true, {.lb = true})});
+  r.push_back({SK::kWrExPess, AK::kRead, kOwner, kAny, kAny, kModeFull,
+               go(SK::kWrExRLock, MK::kCas, true, {.lb = true, .rs = true},
+                  "full model read-locks the owner's WrEx (s7.1)")});
+  r.push_back({SK::kWrExPess, AK::kRead, kOwner, kAny, kAny, kModeOmit,
+               go(SK::kWrExWLock, MK::kCas, true, {.lb = true},
+                  "32-bit prototype write-locks instead")});
+  r.push_back({SK::kWrExPess, AK::kRead, kOwner, kAny, kAny, kModeUnsound,
+               go(SK::kRdExRLock, MK::kCas, true, {.lb = true, .rs = true},
+                  "unsound alternate downgrades to RdEx")});
+  r.push_back({SK::kWrExPess, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdExRLock, MK::kCas, true, {.lb = true, .rs = true})});
+
+  // ---- RdExPess_T ----------------------------------------------------------
+  r.push_back({SK::kRdExPess, AK::kWrite, kAny, kAny, kAny, kAny,
+               go(SK::kWrExWLock, MK::kCas, true, {.lb = true})});
+  r.push_back({SK::kRdExPess, AK::kRead, kOwner, kAny, kAny, kAny,
+               go(SK::kRdExRLock, MK::kCas, true, {.lb = true, .rs = true})});
+  r.push_back({SK::kRdExPess, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdShRLock, MK::kCas, false,
+                  {.counter = CE::kFresh, .holders = HE::kOne, .lb = true,
+                   .rs = true},
+                  "second reader: fresh shared epoch, one lock holder")});
+
+  // ---- RdShPess_c (no owner/member distinction in the state word) ----------
+  r.push_back({SK::kRdShPess, AK::kWrite, kAny, kAny, kAny, kAny,
+               go(SK::kWrExWLock, MK::kCas, true, {.lb = true})});
+  r.push_back({SK::kRdShPess, AK::kRead, kAny, kAny, kAny, kAny,
+               go(SK::kRdShRLock, MK::kCas, false,
+                  {.counter = CE::kKeep, .holders = HE::kOne, .lb = true,
+                   .rs = true})});
+
+  // ---- WrExWLock_T (exclusive write lock) ----------------------------------
+  r.push_back({SK::kWrExWLock, AK::kWrite, kOwner, kAny, kAny, kAny,
+               go(SK::kWrExWLock, MK::kFastPath, true, {.needs_lb = true},
+                  "reentrant")});
+  r.push_back({SK::kWrExWLock, AK::kRead, kOwner, kAny, kAny, kAny,
+               go(SK::kWrExWLock, MK::kFastPath, true, {.needs_lb = true},
+                  "reentrant")});
+  r.push_back({SK::kWrExWLock, AK::kWrite, kOther, kAny, kAny, kAny,
+               contended()});
+  r.push_back({SK::kWrExWLock, AK::kRead, kOther, kAny, kAny, kAny,
+               contended()});
+  r.push_back({SK::kWrExWLock, AK::kUnlock, kOwner, kAny, kOpt, kAny,
+               go(SK::kWrExOpt, MK::kStore, true, {.needs_lb = true},
+                  "flush; policy sends the object optimistic")});
+  r.push_back({SK::kWrExWLock, AK::kUnlock, kOwner, kAny, kPess, kAny,
+               go(SK::kWrExPess, MK::kStore, true, {.needs_lb = true})});
+
+  // ---- WrExRLock_T (owner read-locked its own WrEx state) ------------------
+  r.push_back({SK::kWrExRLock, AK::kRead, kOwner, kAny, kAny, kAny,
+               go(SK::kWrExRLock, MK::kFastPath, true,
+                  {.needs_lb = true, .needs_rs = true}, "reentrant")});
+  r.push_back({SK::kWrExRLock, AK::kWrite, kOwner, kAny, kAny, kAny,
+               go(SK::kWrExWLock, MK::kCas, true,
+                  {.needs_lb = true, .needs_rs = true},
+                  "upgrade own read lock; already buffered")});
+  r.push_back({SK::kWrExRLock, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdShRLock, MK::kCas, false,
+                  {.counter = CE::kFresh, .holders = HE::kTwo, .lb = true,
+                   .rs = true},
+                  "join: prior holder's flush will decrement")});
+  r.push_back({SK::kWrExRLock, AK::kWrite, kOther, kAny, kAny, kAny,
+               contended()});
+  r.push_back({SK::kWrExRLock, AK::kUnlock, kOwner, kAny, kOpt, kAny,
+               go(SK::kWrExOpt, MK::kCas, true,
+                  {.needs_lb = true, .needs_rs = true},
+                  "cas: a reader may join concurrently")});
+  r.push_back({SK::kWrExRLock, AK::kUnlock, kOwner, kAny, kPess, kAny,
+               go(SK::kWrExPess, MK::kCas, true,
+                  {.needs_lb = true, .needs_rs = true})});
+
+  // ---- RdExRLock_T ---------------------------------------------------------
+  r.push_back({SK::kRdExRLock, AK::kRead, kOwner, kAny, kAny, kAny,
+               go(SK::kRdExRLock, MK::kFastPath, true,
+                  {.needs_lb = true, .needs_rs = true}, "reentrant")});
+  r.push_back({SK::kRdExRLock, AK::kWrite, kOwner, kAny, kAny, kAny,
+               go(SK::kWrExWLock, MK::kCas, true,
+                  {.needs_lb = true, .needs_rs = true},
+                  "upgrade own read lock; already buffered")});
+  r.push_back({SK::kRdExRLock, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdShRLock, MK::kCas, false,
+                  {.counter = CE::kFresh, .holders = HE::kTwo, .lb = true,
+                   .rs = true})});
+  r.push_back({SK::kRdExRLock, AK::kWrite, kOther, kAny, kAny, kAny,
+               contended()});
+  r.push_back({SK::kRdExRLock, AK::kUnlock, kOwner, kAny, kOpt, kAny,
+               go(SK::kRdExOpt, MK::kCas, true,
+                  {.needs_lb = true, .needs_rs = true})});
+  r.push_back({SK::kRdExRLock, AK::kUnlock, kOwner, kAny, kPess, kAny,
+               go(SK::kRdExPess, MK::kCas, true,
+                  {.needs_lb = true, .needs_rs = true})});
+
+  // ---- RdShRLock(c, n) (rel kOwner = read-set member) ----------------------
+  r.push_back({SK::kRdShRLock, AK::kRead, kOwner, kAny, kAny, kAny,
+               go(SK::kRdShRLock, MK::kFastPath, false,
+                  {.counter = CE::kKeep, .needs_lb = true, .needs_rs = true},
+                  "reentrant")});
+  r.push_back({SK::kRdShRLock, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdShRLock, MK::kCas, false,
+                  {.counter = CE::kKeep, .holders = HE::kIncrement,
+                   .lb = true, .rs = true},
+                  "join an existing read share")});
+  r.push_back({SK::kRdShRLock, AK::kWrite, kOwner, 1, kAny, kAny,
+               go(SK::kWrExWLock, MK::kCas, true,
+                  {.needs_lb = true, .needs_rs = true},
+                  "sole holder upgrades in place")});
+  r.push_back({SK::kRdShRLock, AK::kWrite, kOwner, 0, kAny, kAny,
+               contended("other holders must flush first")});
+  r.push_back({SK::kRdShRLock, AK::kWrite, kOther, kAny, kAny, kAny,
+               contended("holders unknown: coordinate with all others")});
+  r.push_back({SK::kRdShRLock, AK::kUnlock, kOwner, 1, kOpt, kAny,
+               go(SK::kRdShOpt, MK::kCas, false,
+                  {.counter = CE::kKeep, .needs_lb = true, .needs_rs = true},
+                  "last holder out; keep the epoch")});
+  r.push_back({SK::kRdShRLock, AK::kUnlock, kOwner, 1, kPess, kAny,
+               go(SK::kRdShPess, MK::kCas, false,
+                  {.counter = CE::kKeep, .needs_lb = true, .needs_rs = true})});
+  r.push_back({SK::kRdShRLock, AK::kUnlock, kOwner, 0, kAny, kAny,
+               go(SK::kRdShRLock, MK::kCas, false,
+                  {.counter = CE::kKeep, .holders = HE::kDecrement,
+                   .needs_lb = true, .needs_rs = true})});
+  return r;
+}
+
+std::vector<TransitionRule> build_optimistic() {
+  std::vector<TransitionRule> r;
+  r.push_back({SK::kWrExOpt, AK::kWrite, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kWrExOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kWrExOpt, AK::kWrite, kOther, kAny, kAny, kAny,
+               go(SK::kWrExOpt, MK::kCoordination, true, {.via_int = true},
+                  "conflicting")});
+  r.push_back({SK::kWrExOpt, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdExOpt, MK::kCoordination, true, {.via_int = true},
+                  "conflicting")});
+  r.push_back({SK::kRdExOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kRdExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kRdExOpt, AK::kWrite, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kCas, true, CE::kNone, "upgrading")});
+  r.push_back({SK::kRdExOpt, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdShOpt, MK::kCas, false, {.counter = CE::kFresh},
+                  "upgrading")});
+  r.push_back({SK::kRdExOpt, AK::kWrite, kOther, kAny, kAny, kAny,
+               go(SK::kWrExOpt, MK::kCoordination, true, {.via_int = true},
+                  "conflicting")});
+  r.push_back({SK::kRdShOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kRdShOpt, MK::kFastPath, false, CE::kKeep)});
+  r.push_back({SK::kRdShOpt, AK::kRead, kOther, kAny, kAny, kAny,
+               same(SK::kRdShOpt, MK::kFence, false, CE::kKeep,
+                    "fence transition")});
+  r.push_back({SK::kRdShOpt, AK::kWrite, kAny, kAny, kAny, kAny,
+               go(SK::kWrExOpt, MK::kCoordination, true, {.via_int = true},
+                  "conflicting; coordinate with all others")});
+  r.push_back({SK::kInt, AK::kRead, kAny, kAny, kAny, kAny, contended()});
+  r.push_back({SK::kInt, AK::kWrite, kAny, kAny, kAny, kAny, contended()});
+  return r;
+}
+
+std::vector<TransitionRule> build_ideal() {
+  std::vector<TransitionRule> r;
+  r.push_back({SK::kWrExOpt, AK::kWrite, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kWrExOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kWrExOpt, AK::kWrite, kOther, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kCas, true, CE::kNone,
+                    "conflicting with coordination elided (unsound)")});
+  r.push_back({SK::kWrExOpt, AK::kRead, kOther, kAny, kAny, kAny,
+               same(SK::kRdExOpt, MK::kCas, true, CE::kNone,
+                    "conflicting with coordination elided (unsound)")});
+  r.push_back({SK::kRdExOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kRdExOpt, MK::kFastPath, true)});
+  r.push_back({SK::kRdExOpt, AK::kWrite, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kCas, true, CE::kNone, "upgrading")});
+  r.push_back({SK::kRdExOpt, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdShOpt, MK::kCas, false, {.counter = CE::kFresh},
+                  "upgrading")});
+  r.push_back({SK::kRdExOpt, AK::kWrite, kOther, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kCas, true, CE::kNone,
+                    "conflicting with coordination elided (unsound)")});
+  r.push_back({SK::kRdShOpt, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kRdShOpt, MK::kFastPath, false, CE::kKeep)});
+  r.push_back({SK::kRdShOpt, AK::kRead, kOther, kAny, kAny, kAny,
+               same(SK::kRdShOpt, MK::kFence, false, CE::kKeep,
+                    "fence transition")});
+  r.push_back({SK::kRdShOpt, AK::kWrite, kAny, kAny, kAny, kAny,
+               same(SK::kWrExOpt, MK::kCas, true, CE::kNone,
+                    "conflicting with coordination elided (unsound)")});
+  return r;
+}
+
+// The standalone pessimistic tracker's logical relation (Table 1 over the
+// *Pess states). Every access runs inside the LOCKED-sentinel critical
+// section, so every row's mechanism is the CAS acquiring that sentinel; the
+// sentinel itself is not a state of the relation.
+std::vector<TransitionRule> build_pess_alone() {
+  std::vector<TransitionRule> r;
+  r.push_back({SK::kWrExPess, AK::kWrite, kAny, kAny, kAny, kAny,
+               same(SK::kWrExPess, MK::kCas, true)});
+  r.push_back({SK::kWrExPess, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kWrExPess, MK::kCas, true)});
+  r.push_back({SK::kWrExPess, AK::kRead, kOther, kAny, kAny, kAny,
+               same(SK::kRdExPess, MK::kCas, true)});
+  r.push_back({SK::kRdExPess, AK::kWrite, kAny, kAny, kAny, kAny,
+               same(SK::kWrExPess, MK::kCas, true)});
+  r.push_back({SK::kRdExPess, AK::kRead, kOwner, kAny, kAny, kAny,
+               same(SK::kRdExPess, MK::kCas, true)});
+  r.push_back({SK::kRdExPess, AK::kRead, kOther, kAny, kAny, kAny,
+               go(SK::kRdShPess, MK::kCas, false, {.counter = CE::kFresh})});
+  r.push_back({SK::kRdShPess, AK::kWrite, kAny, kAny, kAny, kAny,
+               same(SK::kWrExPess, MK::kCas, true)});
+  r.push_back({SK::kRdShPess, AK::kRead, kAny, kAny, kAny, kAny,
+               same(SK::kRdShPess, MK::kCas, false, CE::kKeep)});
+  return r;
+}
+
+}  // namespace
+
+const std::vector<TransitionRule>& transition_rules(TrackerFamily family) {
+  static const std::vector<TransitionRule> hybrid = build_hybrid();
+  static const std::vector<TransitionRule> optimistic = build_optimistic();
+  static const std::vector<TransitionRule> ideal = build_ideal();
+  static const std::vector<TransitionRule> pess = build_pess_alone();
+  switch (family) {
+    case TrackerFamily::kHybrid: return hybrid;
+    case TrackerFamily::kOptimistic: return optimistic;
+    case TrackerFamily::kIdeal: return ideal;
+    case TrackerFamily::kPessAlone: return pess;
+  }
+  return hybrid;
+}
+
+Outcome transition_outcome(TrackerFamily family, const TransitionKey& key) {
+  for (const TransitionRule& rule : transition_rules(family)) {
+    if (rule.matches(key)) return rule.outcome;
+  }
+  return Outcome{};  // kIllegal
+}
+
+const std::vector<StateKind>& family_states(TrackerFamily family) {
+  static const std::vector<StateKind> hybrid = {
+      SK::kWrExOpt,   SK::kRdExOpt,   SK::kRdShOpt,   SK::kInt,
+      SK::kWrExPess,  SK::kRdExPess,  SK::kRdShPess,  SK::kWrExWLock,
+      SK::kWrExRLock, SK::kRdExRLock, SK::kRdShRLock,
+  };
+  static const std::vector<StateKind> optimistic = {
+      SK::kWrExOpt, SK::kRdExOpt, SK::kRdShOpt, SK::kInt};
+  static const std::vector<StateKind> ideal = {
+      SK::kWrExOpt, SK::kRdExOpt, SK::kRdShOpt};
+  static const std::vector<StateKind> pess = {
+      SK::kWrExPess, SK::kRdExPess, SK::kRdShPess};
+  switch (family) {
+    case TrackerFamily::kHybrid: return hybrid;
+    case TrackerFamily::kOptimistic: return optimistic;
+    case TrackerFamily::kIdeal: return ideal;
+    case TrackerFamily::kPessAlone: return pess;
+  }
+  return hybrid;
+}
+
+StateKind family_initial_state(TrackerFamily family) {
+  return family == TrackerFamily::kPessAlone ? SK::kWrExPess : SK::kWrExOpt;
+}
+
+std::vector<TransitionKey> enumerate_keys(TrackerFamily family) {
+  const bool modes = family == TrackerFamily::kHybrid;
+  std::vector<TransitionKey> keys;
+  for (StateKind from : family_states(family)) {
+    for (AccessKind access :
+         {AccessKind::kRead, AccessKind::kWrite, AccessKind::kUnlock}) {
+      for (ActorRel rel : {ActorRel::kOwner, ActorRel::kOther}) {
+        const int sole_max = from == SK::kRdShRLock ? 2 : 1;
+        for (int sole = 0; sole < sole_max; ++sole) {
+          for (PolicyChoice policy : {PolicyChoice::kOpt, PolicyChoice::kPess}) {
+            for (int mode = 0; mode < (modes ? kWrExReadModeCount : 1);
+                 ++mode) {
+              TransitionKey k;
+              k.from = from;
+              k.access = access;
+              k.rel = rel;
+              k.sole_holder = sole != 0;
+              k.policy = policy;
+              k.mode = static_cast<WrExReadMode>(mode);
+              keys.push_back(k);
+            }
+          }
+        }
+      }
+    }
+  }
+  return keys;
+}
+
+}  // namespace ht::analysis

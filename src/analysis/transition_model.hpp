@@ -1,0 +1,170 @@
+// The legal-transition relation of the paper's tracking models (Table 1,
+// Table 3, Fig 10), encoded ONCE as pure data.
+//
+// Until this layer existed, the relation lived implicitly in the tracker
+// switch statements and was re-derived by hand in tests; nothing checked
+// that what the trackers *do* matches what the paper *allows*. This header
+// makes the relation a first-class artifact with three consumers:
+//
+//   * the offline exhaustive model check (analysis/model_check.hpp), which
+//     enumerates the full key space and verifies closure, determinism, and
+//     the deferred-unlocking invariants of §3;
+//   * the runtime shadow checker (analysis/transition_checker.hpp, built
+//     under HT_CHECK_TRANSITIONS), which validates every transition the
+//     trackers actually take;
+//   * tests/test_table3_matrix.cpp, which drives its expectations from this
+//     table instead of a duplicated hand-written one.
+//
+// A transition is keyed by (current state kind, access kind, actor relation
+// to the state, sole-holder bit, adaptive-policy choice, WrExRLock mode) and
+// resolves to exactly one outcome: a successor state with a required
+// mechanism and metadata effects, a contended wait (coordination, then
+// retry), or "illegal" (no execution of that tracker family can observe the
+// key).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metadata/state_word.hpp"
+#include "tracking/tracking_modes.hpp"
+
+namespace ht::analysis {
+
+// Which tracker's relation is being queried. The hybrid relation is Table 3;
+// optimistic is Table 1 / Fig 1 (plus the Int mechanics); ideal is the Fig 7
+// unsound variant (conflicting transitions become bare CASes); pess-alone is
+// the standalone §2.1 tracker's logical relation over unlocked states (the
+// LOCKED-sentinel critical section is a mechanism, not a state of the model).
+enum class TrackerFamily : std::uint8_t {
+  kHybrid,
+  kOptimistic,
+  kIdeal,
+  kPessAlone,
+};
+
+const char* tracker_family_name(TrackerFamily f);
+
+enum class AccessKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kUnlock,  // deferred-unlocking flush of one lock-buffer entry (§3.1)
+};
+
+const char* access_kind_name(AccessKind a);
+
+// Actor's relation to the current state. For owner-bearing states this is
+// tid equality; for RdSh states "owner" means membership — an up-to-date
+// rdShCount for RdShOpt, read-set membership for RdShRLock. RdShPess names
+// neither an owner nor members, so its rows accept either relation.
+enum class ActorRel : std::uint8_t { kOwner, kOther };
+
+// What the adaptive policy (§6) would choose at the decision points that
+// consult it: the landing state after optimistic coordination
+// (to_pess_on_conflict) and the unlock target at a flush (should_go_opt).
+// Rows not gated on the policy accept either value.
+enum class PolicyChoice : std::uint8_t { kOpt, kPess };
+
+// The synchronization mechanism Table 1 / Table 3 require for the row.
+enum class Mechanism : std::uint8_t {
+  kFastPath,      // no synchronization at all (same-state / reentrant)
+  kFence,         // memory fence + rdShCount update (RdSh fence transition)
+  kCas,           // one atomic on the state word
+  kStore,         // plain store under exclusive rights (WLock unlock)
+  kCoordination,  // Int + implicit/explicit round trip(s), then install
+  kWait,          // spin at a safe point until the state changes (contended)
+};
+
+const char* mechanism_name(Mechanism m);
+
+// Effect on the RdSh global-epoch counter carried by the successor state.
+enum class CounterEffect : std::uint8_t {
+  kNone,   // successor is not a RdSh state
+  kKeep,   // successor keeps the current state's epoch
+  kFresh,  // successor draws a fresh epoch from the global counter
+};
+
+// Effect on the RdShRLock holder count.
+enum class HolderEffect : std::uint8_t {
+  kNone,       // successor is not RdShRLock (or count unchanged)
+  kOne,        // formation with a single holder
+  kTwo,        // join of an exclusive read lock: two holders
+  kIncrement,  // join of an existing RdShRLock: n+1
+  kDecrement,  // unlock with other holders remaining: n-1
+};
+
+enum class OutcomeKind : std::uint8_t {
+  kIllegal,     // no sound execution observes this key
+  kTransition,  // install the successor state via `mechanism`
+  kContended,   // coordinate with the holder(s) and retry; no direct install
+};
+
+struct Outcome {
+  OutcomeKind kind = OutcomeKind::kIllegal;
+  StateKind to{};                  // kTransition only
+  Mechanism mechanism = Mechanism::kFastPath;
+  bool to_owned_by_actor = false;  // successor carries the actor's tid
+  CounterEffect counter = CounterEffect::kNone;
+  HolderEffect holders = HolderEffect::kNone;
+  // Deferred-unlocking bookkeeping (§3.1): what the actor's lock buffer /
+  // read set must contain after (enters_*) or already before (requires_*)
+  // the transition.
+  bool enters_lock_buffer = false;
+  bool enters_rd_set = false;
+  bool requires_lock_buffer = false;
+  bool requires_rd_set = false;
+  // True iff the successor is the intermediate state (the actor now owns
+  // the coordination protocol for this object, Fig 1 line 8).
+  bool begins_coordination = false;
+  const char* note = "";
+
+  std::string to_string() const;
+};
+
+struct TransitionKey {
+  StateKind from{};
+  AccessKind access{};
+  ActorRel rel = ActorRel::kOwner;
+  bool sole_holder = false;  // RdShRLock only: rdlock_count() == 1
+  PolicyChoice policy = PolicyChoice::kOpt;
+  WrExReadMode mode = WrExReadMode::kFull;
+
+  std::string to_string() const;
+};
+
+// One row of the relation: a key pattern (wildcards allowed) plus the
+// outcome. Rows are pure data; nothing here executes a transition.
+struct TransitionRule {
+  StateKind from;
+  AccessKind access;
+  std::int8_t rel;     // -1 any, else ActorRel
+  std::int8_t sole;    // -1 any, else 0/1 (RdShRLock holder count == 1)
+  std::int8_t policy;  // -1 any, else PolicyChoice
+  std::int8_t mode;    // -1 any, else WrExReadMode
+  Outcome outcome;
+
+  bool matches(const TransitionKey& k) const;
+};
+
+// The complete rule table for a family. Built once, immutable thereafter.
+const std::vector<TransitionRule>& transition_rules(TrackerFamily family);
+
+// Resolves a concrete key against the table. Zero matching rows means
+// kIllegal; more than one matching row is a model bug that the offline
+// model check reports (lookup returns the first match).
+Outcome transition_outcome(TrackerFamily family, const TransitionKey& key);
+
+// The state universe a family's relation is defined over (used by the
+// exhaustive enumeration and the closure check).
+const std::vector<StateKind>& family_states(TrackerFamily family);
+
+// Initial state kind of a freshly allocated object under the family (§6.2).
+StateKind family_initial_state(TrackerFamily family);
+
+// Every concrete key over the family's universe: states × {read, write,
+// unlock} × relations × sole-holder (RdShRLock only) × policy × mode
+// (hybrid only). This is the domain the offline model check enumerates.
+std::vector<TransitionKey> enumerate_keys(TrackerFamily family);
+
+}  // namespace ht::analysis

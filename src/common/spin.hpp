@@ -22,6 +22,36 @@
 #include <immintrin.h>
 #endif
 
+// ThreadSanitizer annotation layer. TSan models std::atomic natively, but
+// the happens-before edges this system *means* — a responding safe point
+// releases, the requester that observed the response acquires — are spread
+// across counter loads it would have to infer. Annotating the sync objects
+// directly keeps TSan's model aligned with ours even if an implementation
+// migrates off std::atomic (e.g. to a futex or custom spin lock), and makes
+// the sanitize-labeled test tier diagnose races at the right abstraction
+// level. Compiles away entirely outside -fsanitize=thread builds.
+#if defined(__SANITIZE_THREAD__)
+#define HT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HT_TSAN 1
+#endif
+#endif
+
+#ifdef HT_TSAN
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#define HT_TSAN_ACQUIRE(addr) \
+  __tsan_acquire(const_cast<void*>(static_cast<const void*>(addr)))
+#define HT_TSAN_RELEASE(addr) \
+  __tsan_release(const_cast<void*>(static_cast<const void*>(addr)))
+#else
+#define HT_TSAN_ACQUIRE(addr) ((void)(addr))
+#define HT_TSAN_RELEASE(addr) ((void)(addr))
+#endif
+
 namespace ht {
 
 inline void cpu_relax() {

@@ -44,12 +44,19 @@ class DependenceRecorder {
 
   // --- thread hook --------------------------------------------------------------
   // Install after the tracker's attach_thread; logs each nondeterministic
-  // release-counter bump so replay can reproduce it.
+  // release-counter bump so replay can reproduce it. The hook runs after the
+  // bump, so the event is stamped with the post-bump counter: the replayer
+  // ignores it (it re-issues the bump either way), but the offline trace
+  // lint uses the stamps to order responses against dependence edges. Value
+  // 0 marks an unannotated event (pre-stamping recordings) — a real
+  // post-bump counter is always >= 1.
   void attach_thread(ThreadContext& ctx) {
     ctx.resp_log_self = this;
     ctx.resp_log_fn = [](void* self, ThreadContext& c) {
       static_cast<DependenceRecorder*>(self)->logs_[c.id].events.push_back(
-          LogEvent{c.point_index, LogEventType::kResponse, kNoThread, 0});
+          LogEvent{c.point_index, LogEventType::kResponse, kNoThread,
+                   c.owner_side.release_counter.load(
+                       std::memory_order_relaxed)});
     };
   }
 

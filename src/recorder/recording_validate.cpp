@@ -62,4 +62,16 @@ FileCheckResult check_recording_file(const std::string& path) {
   return r;
 }
 
+int exit_code_for(RecordingLoadError error) {
+  switch (error) {
+    case RecordingLoadError::kNone:       return kExitOk;
+    case RecordingLoadError::kIo:         return kExitIo;
+    case RecordingLoadError::kBadMagic:   return kExitBadMagic;
+    case RecordingLoadError::kBadVersion: return kExitBadVersion;
+    case RecordingLoadError::kTruncated:  return kExitTruncated;
+    case RecordingLoadError::kChecksum:   return kExitChecksum;
+  }
+  return kExitIo;  // unreachable; conservative for corrupted enum values
+}
+
 }  // namespace ht

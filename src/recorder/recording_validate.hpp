@@ -52,4 +52,24 @@ struct FileCheckResult {
 
 FileCheckResult check_recording_file(const std::string& path);
 
+// Process exit codes shared by the recording_validate and trace_lint tools,
+// so scripts can distinguish WHY a file was rejected without parsing output.
+// Loader failures map 1:1 onto RecordingLoadError; structural and lint
+// findings get their own codes. Documented in the top-level README.
+enum ToolExitCode : int {
+  kExitOk = 0,         // file loaded intact and every check passed
+  kExitUsage = 1,      // bad command line
+  kExitBadMagic = 2,   // not a recording file (RecordingLoadError::kBadMagic)
+  kExitBadVersion = 3, // unknown format version (kBadVersion)
+  kExitTruncated = 4,  // file ends early (kTruncated; v2 prefix salvaged)
+  kExitChecksum = 5,   // corrupted payload (kChecksum; v2 prefix salvaged)
+  kExitIo = 6,         // open/read failure (kIo)
+  kExitStructure = 7,  // loaded, but structural validation failed
+  kExitLint = 8,       // loaded and well-formed, but a lint invariant failed
+};
+
+// Maps a loader failure to its exit code; kNone maps to kExitOk (the caller
+// then layers kExitStructure / kExitLint on top of a clean load).
+int exit_code_for(RecordingLoadError error);
+
 }  // namespace ht

@@ -5,15 +5,20 @@ namespace ht {
 void ProgramLock::acquire(ThreadContext& ctx) {
   // Lock acquisition is an instrumentation point (deterministic per thread).
   ++ctx.point_index;
-  if (mu_.try_lock()) return;
+  if (mu_.try_lock()) {
+    HT_TSAN_ACQUIRE(this);
+    return;
+  }
   Runtime& rt = *ctx.runtime;
   rt.begin_blocking(ctx);
   mu_.lock();
   rt.end_blocking(ctx);
+  HT_TSAN_ACQUIRE(this);
 }
 
 void ProgramLock::release(ThreadContext& ctx) {
   ctx.runtime->psro(ctx);  // flush + deterministic release-counter bump
+  HT_TSAN_RELEASE(this);
   mu_.unlock();
 }
 
@@ -24,6 +29,7 @@ ProgramBarrier::ProgramBarrier(int parties) : parties_(parties) {
 void ProgramBarrier::arrive_and_wait(ThreadContext& ctx) {
   Runtime& rt = *ctx.runtime;
   rt.psro(ctx);  // arrival has release semantics
+  HT_TSAN_RELEASE(this);
   rt.begin_blocking(ctx);
   {
     std::unique_lock<std::mutex> g(mu_);
@@ -36,6 +42,7 @@ void ProgramBarrier::arrive_and_wait(ThreadContext& ctx) {
       cv_.wait(g, [&] { return generation_ != gen; });
     }
   }
+  HT_TSAN_ACQUIRE(this);  // departure sees every arriving thread's writes
   rt.end_blocking(ctx);
 }
 

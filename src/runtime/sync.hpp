@@ -7,11 +7,17 @@
 //     the lock buffer flushes and the release counter bumps (§3.1), and
 //   * blocking while acquiring is a blocking safe point — the thread parks
 //     BLOCKED so that other threads coordinate with it implicitly (§2.2).
+// Both primitives carry explicit TSan acquire/release annotations (the
+// HT_TSAN_* macros from common/spin.hpp): the std::mutex under each already
+// gives TSan a happens-before edge, but annotating the primitive itself pins
+// the edge to the object the *program* synchronizes on, so sanitize-tier
+// reports stay correct if the implementation moves off std::mutex.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 
+#include "common/spin.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/thread_context.hpp"
 

@@ -25,15 +25,9 @@
 #include "metadata/object_meta.hpp"
 #include "tracking/adaptive_policy.hpp"
 #include "tracking/tracker_common.hpp"
+#include "tracking/tracking_modes.hpp"
 
 namespace ht {
-
-// What a read by the owner of WrExPess_T transitions to (§7.1).
-enum class WrExReadMode {
-  kFull,            // -> WrExRLock_T: the complete model (needs 64-bit words)
-  kOmitWrExRLock,   // -> WrExWLock_T: the paper's 32-bit prototype
-  kUnsoundDowngrade // -> RdExRLock_T: the paper's unsound alternate config
-};
 
 struct HybridConfig {
   PolicyConfig policy;
@@ -70,8 +64,17 @@ class HybridTracker {
 
   // --- store --------------------------------------------------------------
   Token pre_store(ThreadContext& ctx, ObjectMeta& m) {
-    if (m.load_state().raw() == ctx.fast_wr_ex_opt) {  // Fig 10a
+    const StateWord s = m.load_state();
+    if (s.raw() == ctx.fast_wr_ex_opt) {  // Fig 10a
       if constexpr (kStats) ++ctx.stats.opt_same;
+      HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                           .actor = ctx.id,
+                           .object = &m,
+                           .from = s,
+                           .to = s,
+                           .access = analysis::AccessKind::kWrite,
+                           .rel = analysis::ActorRel::kOwner,
+                           .mode = mode_});
       return {};
     }
     store_slow(ctx, m);
@@ -85,6 +88,14 @@ class HybridTracker {
     if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt ||
         (s.kind() == StateKind::kRdShOpt && ctx.rd_sh_count >= s.counter())) {
       if constexpr (kStats) ++ctx.stats.opt_same;
+      HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                           .actor = ctx.id,
+                           .object = &m,
+                           .from = s,
+                           .to = s,
+                           .access = analysis::AccessKind::kRead,
+                           .rel = analysis::ActorRel::kOwner,
+                           .mode = mode_});
       return {};
     }
     load_slow(ctx, m);
@@ -115,17 +126,47 @@ class HybridTracker {
           HT_DASSERT(s.tid() == ctx.id, "flushing a lock we do not hold");
           // Sole owner of a write lock: nobody else may touch the state.
           const bool to_opt = policy_.should_go_opt(m);
-          m.store_state(to_opt ? StateWord::wr_ex_opt(ctx.id)
-                               : StateWord::wr_ex_pess(ctx.id));
+          const StateWord next = to_opt ? StateWord::wr_ex_opt(ctx.id)
+                                        : StateWord::wr_ex_pess(ctx.id);
+          m.store_state(next);
+          HT_CHECK_TRANSITION(
+              {.family = analysis::TrackerFamily::kHybrid,
+               .actor = ctx.id,
+               .object = &m,
+               .from = s,
+               .to = next,
+               .access = analysis::AccessKind::kUnlock,
+               .rel = analysis::ActorRel::kOwner,
+               .policy = to_opt ? analysis::PolicyChoice::kOpt
+                                : analysis::PolicyChoice::kPess,
+               .mode = mode_,
+               .taken = analysis::Mechanism::kStore,
+               .in_lock_buffer = analysis::lb_member(ctx, &m),
+               .in_rd_set = analysis::rs_member(ctx, &m)});
           commit_unlock(ctx, m, to_opt);
           return;
         }
         case StateKind::kWrExRLock: {
           HT_DASSERT(s.tid() == ctx.id, "flushing a lock we do not hold");
           const bool to_opt = policy_.should_go_opt(m);
+          const StateWord next = to_opt ? StateWord::wr_ex_opt(ctx.id)
+                                        : StateWord::wr_ex_pess(ctx.id);
           StateWord expected = s;
-          if (m.cas_state(expected, to_opt ? StateWord::wr_ex_opt(ctx.id)
-                                           : StateWord::wr_ex_pess(ctx.id))) {
+          if (m.cas_state(expected, next)) {
+            HT_CHECK_TRANSITION(
+                {.family = analysis::TrackerFamily::kHybrid,
+                 .actor = ctx.id,
+                 .object = &m,
+                 .from = s,
+                 .to = next,
+                 .access = analysis::AccessKind::kUnlock,
+                 .rel = analysis::ActorRel::kOwner,
+                 .policy = to_opt ? analysis::PolicyChoice::kOpt
+                                  : analysis::PolicyChoice::kPess,
+                 .mode = mode_,
+                 .taken = analysis::Mechanism::kCas,
+                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                 .in_rd_set = analysis::rs_member(ctx, &m)});
             commit_unlock(ctx, m, to_opt);
             return;
           }
@@ -134,9 +175,24 @@ class HybridTracker {
         case StateKind::kRdExRLock: {
           HT_DASSERT(s.tid() == ctx.id, "flushing a lock we do not hold");
           const bool to_opt = policy_.should_go_opt(m);
+          const StateWord next = to_opt ? StateWord::rd_ex_opt(ctx.id)
+                                        : StateWord::rd_ex_pess(ctx.id);
           StateWord expected = s;
-          if (m.cas_state(expected, to_opt ? StateWord::rd_ex_opt(ctx.id)
-                                           : StateWord::rd_ex_pess(ctx.id))) {
+          if (m.cas_state(expected, next)) {
+            HT_CHECK_TRANSITION(
+                {.family = analysis::TrackerFamily::kHybrid,
+                 .actor = ctx.id,
+                 .object = &m,
+                 .from = s,
+                 .to = next,
+                 .access = analysis::AccessKind::kUnlock,
+                 .rel = analysis::ActorRel::kOwner,
+                 .policy = to_opt ? analysis::PolicyChoice::kOpt
+                                  : analysis::PolicyChoice::kPess,
+                 .mode = mode_,
+                 .taken = analysis::Mechanism::kCas,
+                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                 .in_rd_set = analysis::rs_member(ctx, &m)});
             commit_unlock(ctx, m, to_opt);
             return;
           }
@@ -156,6 +212,21 @@ class HybridTracker {
           }
           StateWord expected = s;
           if (m.cas_state(expected, next)) {
+            HT_CHECK_TRANSITION(
+                {.family = analysis::TrackerFamily::kHybrid,
+                 .actor = ctx.id,
+                 .object = &m,
+                 .from = s,
+                 .to = next,
+                 .access = analysis::AccessKind::kUnlock,
+                 .rel = analysis::ActorRel::kOwner,
+                 .sole_holder = n == 1,
+                 .policy = to_opt ? analysis::PolicyChoice::kOpt
+                                  : analysis::PolicyChoice::kPess,
+                 .mode = mode_,
+                 .taken = analysis::Mechanism::kCas,
+                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                 .in_rd_set = analysis::rs_member(ctx, &m)});
             if (n == 1) commit_unlock(ctx, m, to_opt);
             return;
           }
@@ -178,6 +249,14 @@ class HybridTracker {
         case StateKind::kWrExOpt:
           if (s.tid() == ctx.id) {
             if constexpr (kStats) ++ctx.stats.opt_same;
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kWrite,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .mode = mode_});
             return;
           }
           if (opt_conflicting(ctx, m, s, /*is_store=*/true)) return;
@@ -187,6 +266,15 @@ class HybridTracker {
             StateWord expected = s;
             if (m.cas_state(expected, StateWord::wr_ex_opt(ctx.id))) {
               if constexpr (kStats) ++ctx.stats.opt_upgrading;
+              HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                   .actor = ctx.id,
+                                   .object = &m,
+                                   .from = s,
+                                   .to = StateWord::wr_ex_opt(ctx.id),
+                                   .access = analysis::AccessKind::kWrite,
+                                   .rel = analysis::ActorRel::kOwner,
+                                   .mode = mode_,
+                                   .taken = analysis::Mechanism::kCas});
               return;
             }
             break;
@@ -197,6 +285,13 @@ class HybridTracker {
           if (opt_conflicting(ctx, m, s, /*is_store=*/true)) return;
           break;
         case StateKind::kInt:
+          HT_CHECK_CONTENDED({.family = analysis::TrackerFamily::kHybrid,
+                              .actor = ctx.id,
+                              .object = &m,
+                              .from = s,
+                              .access = analysis::AccessKind::kWrite,
+                              .rel = analysis::ActorRel::kOther,
+                              .mode = mode_});
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           break;
@@ -209,6 +304,17 @@ class HybridTracker {
           if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
             ctx.lock_buffer.push_back(&m);
             finish_pess(ctx, m, confl, /*reentrant=*/false, contended);
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = StateWord::wr_ex_wlock(ctx.id),
+                                 .access = analysis::AccessKind::kWrite,
+                                 .rel = confl ? analysis::ActorRel::kOther
+                                              : analysis::ActorRel::kOwner,
+                                 .mode = mode_,
+                                 .taken = analysis::Mechanism::kCas,
+                                 .in_lock_buffer = analysis::lb_member(ctx, &m)});
             if (confl) record_owner_edge(ctx, s.tid());
             return;
           }
@@ -219,6 +325,16 @@ class HybridTracker {
           if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
             ctx.lock_buffer.push_back(&m);
             finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = StateWord::wr_ex_wlock(ctx.id),
+                                 .access = analysis::AccessKind::kWrite,
+                                 .rel = analysis::ActorRel::kOther,
+                                 .mode = mode_,
+                                 .taken = analysis::Mechanism::kCas,
+                                 .in_lock_buffer = analysis::lb_member(ctx, &m)});
             record_all_edges(ctx);
             return;
           }
@@ -229,8 +345,24 @@ class HybridTracker {
         case StateKind::kWrExWLock:
           if (s.tid() == ctx.id) {  // reentrant (Table 3 row 1)
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kWrite,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .mode = mode_,
+                                 .in_lock_buffer = analysis::lb_member(ctx, &m)});
             return;
           }
+          HT_CHECK_CONTENDED({.family = analysis::TrackerFamily::kHybrid,
+                              .actor = ctx.id,
+                              .object = &m,
+                              .from = s,
+                              .access = analysis::AccessKind::kWrite,
+                              .rel = analysis::ActorRel::kOther,
+                              .mode = mode_});
           pess_contended(ctx, m, s, contended);
           break;
         case StateKind::kWrExRLock:
@@ -240,10 +372,29 @@ class HybridTracker {
             if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
               // Already in the lock buffer from the read-lock acquisition.
               finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+              HT_CHECK_TRANSITION(
+                  {.family = analysis::TrackerFamily::kHybrid,
+                   .actor = ctx.id,
+                   .object = &m,
+                   .from = s,
+                   .to = StateWord::wr_ex_wlock(ctx.id),
+                   .access = analysis::AccessKind::kWrite,
+                   .rel = analysis::ActorRel::kOwner,
+                   .mode = mode_,
+                   .taken = analysis::Mechanism::kCas,
+                   .in_lock_buffer = analysis::lb_member(ctx, &m),
+                   .in_rd_set = analysis::rs_member(ctx, &m)});
               return;
             }
             break;
           }
+          HT_CHECK_CONTENDED({.family = analysis::TrackerFamily::kHybrid,
+                              .actor = ctx.id,
+                              .object = &m,
+                              .from = s,
+                              .access = analysis::AccessKind::kWrite,
+                              .rel = analysis::ActorRel::kOther,
+                              .mode = mode_});
           pess_contended(ctx, m, s, contended);
           break;
         case StateKind::kRdShRLock:
@@ -253,11 +404,34 @@ class HybridTracker {
             StateWord expected = s;
             if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
               finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
+              HT_CHECK_TRANSITION(
+                  {.family = analysis::TrackerFamily::kHybrid,
+                   .actor = ctx.id,
+                   .object = &m,
+                   .from = s,
+                   .to = StateWord::wr_ex_wlock(ctx.id),
+                   .access = analysis::AccessKind::kWrite,
+                   .rel = analysis::ActorRel::kOwner,
+                   .sole_holder = true,
+                   .mode = mode_,
+                   .taken = analysis::Mechanism::kCas,
+                   .in_lock_buffer = analysis::lb_member(ctx, &m),
+                   .in_rd_set = analysis::rs_member(ctx, &m)});
               record_all_edges(ctx);
               return;
             }
             break;
           }
+          HT_CHECK_CONTENDED({.family = analysis::TrackerFamily::kHybrid,
+                              .actor = ctx.id,
+                              .object = &m,
+                              .from = s,
+                              .access = analysis::AccessKind::kWrite,
+                              .rel = ctx.rd_set.contains(&m)
+                                         ? analysis::ActorRel::kOwner
+                                         : analysis::ActorRel::kOther,
+                              .sole_holder = s.rdlock_count() == 1,
+                              .mode = mode_});
           pess_contended(ctx, m, s, contended);
           break;
 
@@ -278,6 +452,14 @@ class HybridTracker {
         case StateKind::kWrExOpt:
           if (s.tid() == ctx.id) {
             if constexpr (kStats) ++ctx.stats.opt_same;
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .mode = mode_});
             return;
           }
           if (opt_conflicting(ctx, m, s, /*is_store=*/false)) return;
@@ -285,6 +467,14 @@ class HybridTracker {
         case StateKind::kRdExOpt: {
           if (s.tid() == ctx.id) {
             if constexpr (kStats) ++ctx.stats.opt_same;
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .mode = mode_});
             return;
           }
           // Upgrading: RdEx_T1 read by T2 -> RdShOpt with a fresh counter.
@@ -294,6 +484,15 @@ class HybridTracker {
             if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
             record_all_edges(ctx);
             if constexpr (kStats) ++ctx.stats.opt_upgrading;
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = StateWord::rd_sh_opt(c),
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOther,
+                                 .mode = mode_,
+                                 .taken = analysis::Mechanism::kCas});
             return;
           }
           break;
@@ -301,14 +500,38 @@ class HybridTracker {
         case StateKind::kRdShOpt:
           if (ctx.rd_sh_count >= s.counter()) {
             if constexpr (kStats) ++ctx.stats.opt_same;
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .mode = mode_});
             return;
           }
           std::atomic_thread_fence(std::memory_order_seq_cst);
           ctx.rd_sh_count = s.counter();
           record_all_edges(ctx);
           if constexpr (kStats) ++ctx.stats.opt_fence;
+          HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                               .actor = ctx.id,
+                               .object = &m,
+                               .from = s,
+                               .to = s,
+                               .access = analysis::AccessKind::kRead,
+                               .rel = analysis::ActorRel::kOther,
+                               .mode = mode_,
+                               .taken = analysis::Mechanism::kFence});
           return;
         case StateKind::kInt:
+          HT_CHECK_CONTENDED({.family = analysis::TrackerFamily::kHybrid,
+                              .actor = ctx.id,
+                              .object = &m,
+                              .from = s,
+                              .access = analysis::AccessKind::kRead,
+                              .rel = analysis::ActorRel::kOther,
+                              .mode = mode_});
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           break;
@@ -338,6 +561,18 @@ class HybridTracker {
               ctx.lock_buffer.push_back(&m);
               if (read_lock) ctx.rd_set.insert(&m);
               finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+              HT_CHECK_TRANSITION(
+                  {.family = analysis::TrackerFamily::kHybrid,
+                   .actor = ctx.id,
+                   .object = &m,
+                   .from = s,
+                   .to = next,
+                   .access = analysis::AccessKind::kRead,
+                   .rel = analysis::ActorRel::kOwner,
+                   .mode = mode_,
+                   .taken = analysis::Mechanism::kCas,
+                   .in_lock_buffer = analysis::lb_member(ctx, &m),
+                   .in_rd_set = analysis::rs_member(ctx, &m)});
               return;
             }
             break;
@@ -348,6 +583,18 @@ class HybridTracker {
             ctx.lock_buffer.push_back(&m);
             ctx.rd_set.insert(&m);
             finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
+            HT_CHECK_TRANSITION(
+                {.family = analysis::TrackerFamily::kHybrid,
+                 .actor = ctx.id,
+                 .object = &m,
+                 .from = s,
+                 .to = StateWord::rd_ex_rlock(ctx.id),
+                 .access = analysis::AccessKind::kRead,
+                 .rel = analysis::ActorRel::kOther,
+                 .mode = mode_,
+                 .taken = analysis::Mechanism::kCas,
+                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                 .in_rd_set = analysis::rs_member(ctx, &m)});
             record_owner_edge(ctx, s.tid());
             return;
           }
@@ -360,6 +607,18 @@ class HybridTracker {
               ctx.lock_buffer.push_back(&m);
               ctx.rd_set.insert(&m);
               finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+              HT_CHECK_TRANSITION(
+                  {.family = analysis::TrackerFamily::kHybrid,
+                   .actor = ctx.id,
+                   .object = &m,
+                   .from = s,
+                   .to = StateWord::rd_ex_rlock(ctx.id),
+                   .access = analysis::AccessKind::kRead,
+                   .rel = analysis::ActorRel::kOwner,
+                   .mode = mode_,
+                   .taken = analysis::Mechanism::kCas,
+                   .in_lock_buffer = analysis::lb_member(ctx, &m),
+                   .in_rd_set = analysis::rs_member(ctx, &m)});
               return;
             }
             break;
@@ -372,6 +631,18 @@ class HybridTracker {
             ctx.lock_buffer.push_back(&m);
             ctx.rd_set.insert(&m);
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+            HT_CHECK_TRANSITION(
+                {.family = analysis::TrackerFamily::kHybrid,
+                 .actor = ctx.id,
+                 .object = &m,
+                 .from = s,
+                 .to = StateWord::rd_sh_rlock(c, 1),
+                 .access = analysis::AccessKind::kRead,
+                 .rel = analysis::ActorRel::kOther,
+                 .mode = mode_,
+                 .taken = analysis::Mechanism::kCas,
+                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                 .in_rd_set = analysis::rs_member(ctx, &m)});
             record_owner_edge(ctx, s.tid());
             return;
           }
@@ -385,6 +656,18 @@ class HybridTracker {
             ctx.lock_buffer.push_back(&m);
             ctx.rd_set.insert(&m);
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+            HT_CHECK_TRANSITION(
+                {.family = analysis::TrackerFamily::kHybrid,
+                 .actor = ctx.id,
+                 .object = &m,
+                 .from = s,
+                 .to = StateWord::rd_sh_rlock(s.counter(), 1),
+                 .access = analysis::AccessKind::kRead,
+                 .rel = analysis::ActorRel::kOther,
+                 .mode = mode_,
+                 .taken = analysis::Mechanism::kCas,
+                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                 .in_rd_set = analysis::rs_member(ctx, &m)});
             record_all_edges(ctx);
             return;
           }
@@ -395,13 +678,39 @@ class HybridTracker {
         case StateKind::kWrExWLock:
           if (s.tid() == ctx.id) {  // reentrant
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .mode = mode_,
+                                 .in_lock_buffer = analysis::lb_member(ctx, &m)});
             return;
           }
+          HT_CHECK_CONTENDED({.family = analysis::TrackerFamily::kHybrid,
+                              .actor = ctx.id,
+                              .object = &m,
+                              .from = s,
+                              .access = analysis::AccessKind::kRead,
+                              .rel = analysis::ActorRel::kOther,
+                              .mode = mode_});
           pess_contended(ctx, m, s, contended);
           break;
         case StateKind::kWrExRLock:
           if (s.tid() == ctx.id) {  // reentrant (own read lock)
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .mode = mode_,
+                                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                                 .in_rd_set = analysis::rs_member(ctx, &m)});
             return;
           }
           // Second concurrent reader: WrExRLock_T1 -> RdShRLock(2).
@@ -412,6 +721,16 @@ class HybridTracker {
         case StateKind::kRdExRLock:
           if (s.tid() == ctx.id) {  // reentrant
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .mode = mode_,
+                                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                                 .in_rd_set = analysis::rs_member(ctx, &m)});
             return;
           }
           if (join_read_share(ctx, m, s, /*initial_holders=*/2,
@@ -421,6 +740,17 @@ class HybridTracker {
         case StateKind::kRdShRLock: {
           if (ctx.rd_set.contains(&m)) {  // reentrant
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/true);
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOwner,
+                                 .sole_holder = s.rdlock_count() == 1,
+                                 .mode = mode_,
+                                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                                 .in_rd_set = analysis::rs_member(ctx, &m)});
             return;
           }
           // Join: RdShRLock(n) -> RdShRLock(n+1), same counter.
@@ -432,6 +762,19 @@ class HybridTracker {
             ctx.lock_buffer.push_back(&m);
             ctx.rd_set.insert(&m);
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
+            HT_CHECK_TRANSITION(
+                {.family = analysis::TrackerFamily::kHybrid,
+                 .actor = ctx.id,
+                 .object = &m,
+                 .from = s,
+                 .to = StateWord::rd_sh_rlock(s.counter(),
+                                              s.rdlock_count() + 1),
+                 .access = analysis::AccessKind::kRead,
+                 .rel = analysis::ActorRel::kOther,
+                 .mode = mode_,
+                 .taken = analysis::Mechanism::kCas,
+                 .in_lock_buffer = analysis::lb_member(ctx, &m),
+                 .in_rd_set = analysis::rs_member(ctx, &m)});
             record_all_edges(ctx);
             return;
           }
@@ -458,6 +801,17 @@ class HybridTracker {
     ctx.lock_buffer.push_back(&m);
     ctx.rd_set.insert(&m);
     finish_pess(ctx, m, confl, /*reentrant=*/false, contended);
+    HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                         .actor = ctx.id,
+                         .object = &m,
+                         .from = s,
+                         .to = StateWord::rd_sh_rlock(c, initial_holders),
+                         .access = analysis::AccessKind::kRead,
+                         .rel = analysis::ActorRel::kOther,
+                         .mode = mode_,
+                         .taken = analysis::Mechanism::kCas,
+                         .in_lock_buffer = analysis::lb_member(ctx, &m),
+                         .in_rd_set = analysis::rs_member(ctx, &m)});
     // The prior holder has not flushed since locking, so a single-owner
     // current-counter edge would be unsound; fan out conservatively.
     record_all_edges(ctx);
@@ -486,20 +840,35 @@ class HybridTracker {
       guard.disarm();
     }
 
-    if (policy_.to_pess_on_conflict(m, any_explicit)) {
+    const bool went_pess = policy_.to_pess_on_conflict(m, any_explicit);
+    StateWord landed;
+    if (went_pess) {
       policy_.note_became_pess(m);
-      if (is_store) {
-        m.store_state(StateWord::wr_ex_wlock(ctx.id));
-      } else {
-        m.store_state(StateWord::rd_ex_rlock(ctx.id));
-        ctx.rd_set.insert(&m);
-      }
+      landed = is_store ? StateWord::wr_ex_wlock(ctx.id)
+                        : StateWord::rd_ex_rlock(ctx.id);
+      m.store_state(landed);
+      if (!is_store) ctx.rd_set.insert(&m);
       ctx.lock_buffer.push_back(&m);
       if constexpr (kStats) ++ctx.stats.opt_to_pess;
     } else {
-      m.store_state(is_store ? StateWord::wr_ex_opt(ctx.id)
-                             : StateWord::rd_ex_opt(ctx.id));
+      landed = is_store ? StateWord::wr_ex_opt(ctx.id)
+                        : StateWord::rd_ex_opt(ctx.id);
+      m.store_state(landed);
     }
+    HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                         .actor = ctx.id,
+                         .object = &m,
+                         .from = s,
+                         .to = landed,
+                         .access = is_store ? analysis::AccessKind::kWrite
+                                            : analysis::AccessKind::kRead,
+                         .rel = analysis::ActorRel::kOther,
+                         .policy = went_pess ? analysis::PolicyChoice::kPess
+                                             : analysis::PolicyChoice::kOpt,
+                         .mode = mode_,
+                         .taken = analysis::Mechanism::kCoordination,
+                         .in_lock_buffer = analysis::lb_member(ctx, &m),
+                         .in_rd_set = analysis::rs_member(ctx, &m)});
     if constexpr (kStats) {
       (any_explicit ? ctx.stats.opt_confl_explicit
                     : ctx.stats.opt_confl_implicit)++;

@@ -29,8 +29,16 @@ class IdealTracker {
   void attach_thread(ThreadContext&) {}
 
   Token pre_store(ThreadContext& ctx, ObjectMeta& m) {
-    if (m.load_state().raw() == ctx.fast_wr_ex_opt) {
+    const StateWord s = m.load_state();
+    if (s.raw() == ctx.fast_wr_ex_opt) {
       if constexpr (kStats) ++ctx.stats.opt_same;
+      HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kIdeal,
+                           .actor = ctx.id,
+                           .object = &m,
+                           .from = s,
+                           .to = s,
+                           .access = analysis::AccessKind::kWrite,
+                           .rel = analysis::ActorRel::kOwner});
       return {};
     }
     slow(ctx, m, /*is_store=*/true);
@@ -43,6 +51,13 @@ class IdealTracker {
     if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt ||
         (s.kind() == StateKind::kRdShOpt && ctx.rd_sh_count >= s.counter())) {
       if constexpr (kStats) ++ctx.stats.opt_same;
+      HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kIdeal,
+                           .actor = ctx.id,
+                           .object = &m,
+                           .from = s,
+                           .to = s,
+                           .access = analysis::AccessKind::kRead,
+                           .rel = analysis::ActorRel::kOwner});
       return {};
     }
     slow(ctx, m, /*is_store=*/false);
@@ -60,6 +75,14 @@ class IdealTracker {
       if (s.raw() == ctx.fast_wr_ex_opt ||
           (!is_store && s.raw() == ctx.fast_rd_ex_opt)) {
         if constexpr (kStats) ++ctx.stats.opt_same;
+        HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kIdeal,
+                             .actor = ctx.id,
+                             .object = &m,
+                             .from = s,
+                             .to = s,
+                             .access = is_store ? analysis::AccessKind::kWrite
+                                                : analysis::AccessKind::kRead,
+                             .rel = analysis::ActorRel::kOwner});
         return;
       }
       StateWord next;
@@ -72,11 +95,26 @@ class IdealTracker {
           case StateKind::kRdShOpt:
             if (ctx.rd_sh_count >= s.counter()) {
               if constexpr (kStats) ++ctx.stats.opt_same;
+              HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kIdeal,
+                                   .actor = ctx.id,
+                                   .object = &m,
+                                   .from = s,
+                                   .to = s,
+                                   .access = analysis::AccessKind::kRead,
+                                   .rel = analysis::ActorRel::kOwner});
               return;
             }
             std::atomic_thread_fence(std::memory_order_seq_cst);
             ctx.rd_sh_count = s.counter();
             if constexpr (kStats) ++ctx.stats.opt_fence;
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kIdeal,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOther,
+                                 .taken = analysis::Mechanism::kFence});
             return;
           case StateKind::kRdExOpt:
             next = StateWord::rd_sh_opt(rt.next_rd_sh_counter());
@@ -96,6 +134,17 @@ class IdealTracker {
             ctx.rd_sh_count < next.counter()) {
           ctx.rd_sh_count = next.counter();
         }
+        HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kIdeal,
+                             .actor = ctx.id,
+                             .object = &m,
+                             .from = s,
+                             .to = next,
+                             .access = is_store ? analysis::AccessKind::kWrite
+                                                : analysis::AccessKind::kRead,
+                             .rel = s.has_owner() && s.tid() == ctx.id
+                                        ? analysis::ActorRel::kOwner
+                                        : analysis::ActorRel::kOther,
+                             .taken = analysis::Mechanism::kCas});
         if constexpr (kStats) {
           // Elided coordination still counts as a conflicting transition so
           // statistics runs show what the Ideal configuration skipped.

@@ -39,8 +39,16 @@ class OptimisticTracker {
   // --- store ------------------------------------------------------------------
   Token pre_store(ThreadContext& ctx, ObjectMeta& m) {
     // Fast path (Fig 10a shape): a single load and compare.
-    if (m.load_state().raw() == ctx.fast_wr_ex_opt) {
+    const StateWord s = m.load_state();
+    if (s.raw() == ctx.fast_wr_ex_opt) {
       if constexpr (kStats) ++ctx.stats.opt_same;
+      HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                           .actor = ctx.id,
+                           .object = &m,
+                           .from = s,
+                           .to = s,
+                           .access = analysis::AccessKind::kWrite,
+                           .rel = analysis::ActorRel::kOwner});
       return {};
     }
     store_slow(ctx, m);
@@ -54,6 +62,13 @@ class OptimisticTracker {
     if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt ||
         (s.kind() == StateKind::kRdShOpt && ctx.rd_sh_count >= s.counter())) {
       if constexpr (kStats) ++ctx.stats.opt_same;
+      HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                           .actor = ctx.id,
+                           .object = &m,
+                           .from = s,
+                           .to = s,
+                           .access = analysis::AccessKind::kRead,
+                           .rel = analysis::ActorRel::kOwner});
       return {};
     }
     load_slow(ctx, m);
@@ -72,6 +87,13 @@ class OptimisticTracker {
         // Another iteration (or a racing thread handing the state back)
         // already produced the state we need.
         if constexpr (kStats) ++ctx.stats.opt_same;
+        HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                             .actor = ctx.id,
+                             .object = &m,
+                             .from = s,
+                             .to = s,
+                             .access = analysis::AccessKind::kWrite,
+                             .rel = analysis::ActorRel::kOwner});
         return;
       }
       if (s.kind() == StateKind::kRdExOpt && s.tid() == ctx.id) {
@@ -79,11 +101,25 @@ class OptimisticTracker {
         StateWord expected = s;
         if (m.cas_state(expected, StateWord::wr_ex_opt(ctx.id))) {
           if constexpr (kStats) ++ctx.stats.opt_upgrading;
+          HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                               .actor = ctx.id,
+                               .object = &m,
+                               .from = s,
+                               .to = StateWord::wr_ex_opt(ctx.id),
+                               .access = analysis::AccessKind::kWrite,
+                               .rel = analysis::ActorRel::kOwner,
+                               .taken = analysis::Mechanism::kCas});
           return;
         }
         continue;
       }
       if (s.is_intermediate()) {
+        HT_CHECK_CONTENDED({.family = analysis::TrackerFamily::kOptimistic,
+                            .actor = ctx.id,
+                            .object = &m,
+                            .from = s,
+                            .access = analysis::AccessKind::kWrite,
+                            .rel = analysis::ActorRel::kOther});
         rt.fault_point_slow_path(ctx);
         rt.respond_while_waiting(ctx);
         continue;
@@ -99,12 +135,26 @@ class OptimisticTracker {
       StateWord s = m.load_state();
       if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt) {
         if constexpr (kStats) ++ctx.stats.opt_same;
+        HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                             .actor = ctx.id,
+                             .object = &m,
+                             .from = s,
+                             .to = s,
+                             .access = analysis::AccessKind::kRead,
+                             .rel = analysis::ActorRel::kOwner});
         return;
       }
       switch (s.kind()) {
         case StateKind::kRdShOpt: {
           if (ctx.rd_sh_count >= s.counter()) {
             if constexpr (kStats) ++ctx.stats.opt_same;
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = s,
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOwner});
             return;
           }
           // Fence transition (Table 1): first read of this RdSh epoch by T.
@@ -112,6 +162,14 @@ class OptimisticTracker {
           ctx.rd_sh_count = s.counter();
           if constexpr (Sink::kActive) sink_->edge_all_others(ctx, rt);
           if constexpr (kStats) ++ctx.stats.opt_fence;
+          HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                               .actor = ctx.id,
+                               .object = &m,
+                               .from = s,
+                               .to = s,
+                               .access = analysis::AccessKind::kRead,
+                               .rel = analysis::ActorRel::kOther,
+                               .taken = analysis::Mechanism::kFence});
           return;
         }
         case StateKind::kRdExOpt: {
@@ -122,11 +180,25 @@ class OptimisticTracker {
             if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
             if constexpr (Sink::kActive) sink_->edge_all_others(ctx, rt);
             if constexpr (kStats) ++ctx.stats.opt_upgrading;
+            HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                                 .actor = ctx.id,
+                                 .object = &m,
+                                 .from = s,
+                                 .to = StateWord::rd_sh_opt(c),
+                                 .access = analysis::AccessKind::kRead,
+                                 .rel = analysis::ActorRel::kOther,
+                                 .taken = analysis::Mechanism::kCas});
             return;
           }
           continue;
         }
         case StateKind::kInt:
+          HT_CHECK_CONTENDED({.family = analysis::TrackerFamily::kOptimistic,
+                              .actor = ctx.id,
+                              .object = &m,
+                              .from = s,
+                              .access = analysis::AccessKind::kRead,
+                              .rel = analysis::ActorRel::kOther});
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           continue;
@@ -166,6 +238,16 @@ class OptimisticTracker {
       guard.disarm();
     }
     m.store_state(new_state);
+    HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                         .actor = ctx.id,
+                         .object = &m,
+                         .from = old_state,
+                         .to = new_state,
+                         .access = new_state.kind() == StateKind::kWrExOpt
+                                       ? analysis::AccessKind::kWrite
+                                       : analysis::AccessKind::kRead,
+                         .rel = analysis::ActorRel::kOther,
+                         .taken = analysis::Mechanism::kCoordination});
     if (census_ && any_explicit) {
       m.profile().update(
           [](ProfileWord w) { return w.with_opt_conflict_inc(); });

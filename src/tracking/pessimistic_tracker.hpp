@@ -44,6 +44,16 @@ class PessimisticTracker {
           old.kind() == StateKind::kWrExPess && old.tid() == ctx.id;
       (same ? ctx.stats.pess_alone_same : ctx.stats.pess_alone_cross)++;
     }
+    HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kPessAlone,
+                         .actor = ctx.id,
+                         .object = &m,
+                         .from = old,
+                         .to = StateWord::wr_ex_pess(ctx.id),
+                         .access = analysis::AccessKind::kWrite,
+                         .rel = old.has_owner() && old.tid() == ctx.id
+                                    ? analysis::ActorRel::kOwner
+                                    : analysis::ActorRel::kOther,
+                         .taken = analysis::Mechanism::kCas});
     (void)old;
     return Token{StateWord::wr_ex_pess(ctx.id)};
   }
@@ -80,6 +90,16 @@ class PessimisticTracker {
     if constexpr (kStats) {
       (same ? ctx.stats.pess_alone_same : ctx.stats.pess_alone_cross)++;
     }
+    HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kPessAlone,
+                         .actor = ctx.id,
+                         .object = &m,
+                         .from = old,
+                         .to = next,
+                         .access = analysis::AccessKind::kRead,
+                         .rel = old.has_owner() && old.tid() == ctx.id
+                                    ? analysis::ActorRel::kOwner
+                                    : analysis::ActorRel::kOther,
+                         .taken = analysis::Mechanism::kCas});
     return Token{next};
   }
 

@@ -1,6 +1,7 @@
 // Shared pieces of the tracker implementations: the dependence-sink concept
-// (how the recorder observes happens-before edges), access tokens, and the
-// intermediate-state guard used when a coordination wait unwinds.
+// (how the recorder observes happens-before edges), access tokens, the
+// intermediate-state guard used when a coordination wait unwinds, and the
+// transition-conformance hooks.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +9,22 @@
 #include "metadata/object_meta.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/thread_context.hpp"
+
+// Shadow-checking hooks (CMake option HT_CHECK_TRANSITIONS). Call sites pass
+// a braced ht::analysis::TransitionObs initializer; with the option off the
+// macro discards its argument tokens entirely, so the observation struct,
+// its designated initializers, and any membership scans inside them are
+// never compiled — disabled builds pay nothing.
+#ifdef HT_CHECK_TRANSITIONS_ENABLED
+#include "analysis/transition_checker.hpp"
+#define HT_CHECK_TRANSITION(...) \
+  ::ht::analysis::check_transition(::ht::analysis::TransitionObs __VA_ARGS__)
+#define HT_CHECK_CONTENDED(...) \
+  ::ht::analysis::check_contended(::ht::analysis::TransitionObs __VA_ARGS__)
+#else
+#define HT_CHECK_TRANSITION(...) ((void)0)
+#define HT_CHECK_CONTENDED(...) ((void)0)
+#endif
 
 namespace ht {
 

@@ -1,0 +1,19 @@
+// Tracker configuration enums shared between the trackers and the
+// conformance layer (src/analysis/). Kept free of tracker includes so the
+// transition model can name them without pulling in tracker internals.
+#pragma once
+
+#include <cstdint>
+
+namespace ht {
+
+// What a read by the owner of WrExPess_T transitions to (paper §7.1).
+enum class WrExReadMode : std::uint8_t {
+  kFull,            // -> WrExRLock_T: the complete model (needs 64-bit words)
+  kOmitWrExRLock,   // -> WrExWLock_T: the paper's 32-bit prototype
+  kUnsoundDowngrade // -> RdExRLock_T: the paper's unsound alternate config
+};
+
+inline constexpr int kWrExReadModeCount = 3;
+
+}  // namespace ht

@@ -161,8 +161,8 @@ std::vector<SweepCase> sweep_cases() {
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, QuiescenceSweep,
                          ::testing::ValuesIn(sweep_cases()),
-                         [](const ::testing::TestParamInfo<SweepCase>& info) {
-                           return std::string(info.param.label);
+                         [](const ::testing::TestParamInfo<SweepCase>& pinfo) {
+                           return std::string(pinfo.param.label);
                          });
 
 }  // namespace

@@ -1,15 +1,22 @@
-// Exhaustive Table 3 transition matrix: for every (old state, access,
-// thread) combination the hybrid model defines, set the object's metadata to
-// the old state, perform one access, and check the new state — a direct
-// transcription of the paper's Appendix B table.
+// Exhaustive Table 3 transition matrix, driven by the shared conformance
+// model (analysis/transition_model.hpp): enumerate every hybrid key the
+// model resolves WITHOUT coordination (fast-path / fence / CAS rows — the
+// set Table 3 marks CAS/None), set an object's metadata to the key's from
+// state, perform one access, and check the observed successor against the
+// model's outcome: successor kind, ownership, RdSh epoch effect, holder
+// count, and lock-buffer/read-set bookkeeping.
 //
-// Conventions: T0 is "T" / "T1" (the state's owner where applicable), T1 is
-// "T2" (the other thread). Contended rows and optimistic conflicting rows
-// need a cooperating owner and are covered by test_hybrid_tracker.cpp; this
-// file covers every row resolvable without coordination, which is exactly
-// the set Table 3 marks CAS/None.
+// The expectations are not written down here — they are *the* transition
+// relation, so a tracker change that disagrees with the paper fails this
+// test and the runtime shadow checker identically. Contended rows and
+// coordination rows need a cooperating owner and are covered by
+// test_hybrid_tracker.cpp.
+//
+// Conventions: T0 ("actor") performs the access; T1 ("other") is the state
+// owner for ActorRel::kOther keys.
 #include <gtest/gtest.h>
 
+#include "analysis/transition_model.hpp"
 #include "test_util.hpp"
 #include "tracking/hybrid_tracker.hpp"
 #include "tracking/tracked_var.hpp"
@@ -17,173 +24,172 @@
 namespace ht {
 namespace {
 
-enum class Access { kRead, kWrite };
+using analysis::AccessKind;
+using analysis::ActorRel;
+using analysis::CounterEffect;
+using analysis::HolderEffect;
+using analysis::Mechanism;
+using analysis::Outcome;
+using analysis::OutcomeKind;
+using analysis::PolicyChoice;
+using analysis::TrackerFamily;
+using analysis::TransitionKey;
 
 struct Row {
-  const char* name;
-  // old state built from (kind, owner-is-self?, c, n) at runtime
-  StateKind old_kind;
-  bool owner_is_actor;  // for owner-bearing states
-  std::uint32_t n;      // RdShRLock holder count
-  Access access;
-  StateKind new_kind;
-  bool new_owner_is_actor;  // for owner-bearing new states
-  std::uint32_t new_n;      // expected holder count (RdShRLock)
-  bool actor_prelocked;     // actor already holds a read lock (in rd_set)
+  TransitionKey key;
+  Outcome outcome;
 };
+
+// Every hybrid key resolvable in a single-threaded harness: committed
+// transitions whose mechanism needs no cooperating remote thread. Policy is
+// fixed to kOpt (it only gates coordination landings and unlock targets,
+// neither of which is in this set), and the WrExReadMode dimension is kept
+// only where the model says it matters (WrExPess read by its owner).
+std::vector<Row> resolvable_rows() {
+  std::vector<Row> rows;
+  for (const TransitionKey& key : analysis::enumerate_keys(TrackerFamily::kHybrid)) {
+    const Outcome outcome =
+        analysis::transition_outcome(TrackerFamily::kHybrid, key);
+    if (outcome.kind != OutcomeKind::kTransition) continue;
+    if (outcome.mechanism != Mechanism::kFastPath &&
+        outcome.mechanism != Mechanism::kFence &&
+        outcome.mechanism != Mechanism::kCas)
+      continue;
+    if (key.access == AccessKind::kUnlock) continue;  // covered via flush below
+    if (key.policy != PolicyChoice::kOpt) continue;
+    const bool mode_matters = key.from == StateKind::kWrExPess &&
+                              key.access == AccessKind::kRead &&
+                              key.rel == ActorRel::kOwner;
+    if (!mode_matters && key.mode != WrExReadMode::kFull) continue;
+    rows.push_back({key, outcome});
+  }
+  return rows;
+}
+
+std::string row_name(const ::testing::TestParamInfo<Row>& row_info) {
+  std::string s = row_info.param.key.to_string();
+  std::string out;
+  for (char ch : s) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      out += ch;
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
 
 class Table3MatrixTest : public ::testing::TestWithParam<Row> {};
 
-TEST_P(Table3MatrixTest, TransitionMatchesTable) {
-  const Row& row = GetParam();
+TEST_P(Table3MatrixTest, TransitionMatchesModel) {
+  const TransitionKey& key = GetParam().key;
+  const Outcome& outcome = GetParam().outcome;
+
   Runtime rt;
-  HybridTracker<true> tracker(rt, HybridConfig{});
-  ThreadContext& actor = rt.register_thread();   // T (id 0)
-  ThreadContext& other = rt.register_thread();   // T1/T2 counterpart (id 1)
+  HybridConfig cfg;
+  cfg.wr_ex_read_mode = key.mode;
+  HybridTracker<true> tracker(rt, cfg);
+  ThreadContext& actor = rt.register_thread();  // T (id 0)
+  ThreadContext& other = rt.register_thread();  // the remote owner (id 1)
   tracker.attach_thread(actor);
   tracker.attach_thread(other);
 
   TrackedVar<std::uint64_t> var;
   var.init(tracker, actor, 0);
+  ObjectMeta& meta = var.meta();
 
-  const ThreadId owner_id = row.owner_is_actor ? actor.id : other.id;
+  // ---- build the from state -------------------------------------------------
+  const ThreadId owner_id =
+      key.rel == ActorRel::kOwner ? actor.id : other.id;
   const std::uint32_t c = 17;  // arbitrary read-share epoch
-  StateWord old_state;
-  switch (row.old_kind) {
-    case StateKind::kWrExOpt: old_state = StateWord::wr_ex_opt(owner_id); break;
-    case StateKind::kRdExOpt: old_state = StateWord::rd_ex_opt(owner_id); break;
-    case StateKind::kRdShOpt: old_state = StateWord::rd_sh_opt(c); break;
-    case StateKind::kWrExPess: old_state = StateWord::wr_ex_pess(owner_id); break;
-    case StateKind::kRdExPess: old_state = StateWord::rd_ex_pess(owner_id); break;
-    case StateKind::kRdShPess: old_state = StateWord::rd_sh_pess(c); break;
-    case StateKind::kWrExWLock: old_state = StateWord::wr_ex_wlock(owner_id); break;
-    case StateKind::kWrExRLock: old_state = StateWord::wr_ex_rlock(owner_id); break;
-    case StateKind::kRdExRLock: old_state = StateWord::rd_ex_rlock(owner_id); break;
-    case StateKind::kRdShRLock:
-      old_state = StateWord::rd_sh_rlock(c, row.n);
-      break;
-    default: FAIL() << "unsupported old state";
+  const std::uint32_t n = key.sole_holder ? 1 : 2;  // RdShRLock holders
+  StateWord from;
+  switch (key.from) {
+    case StateKind::kWrExOpt: from = StateWord::wr_ex_opt(owner_id); break;
+    case StateKind::kRdExOpt: from = StateWord::rd_ex_opt(owner_id); break;
+    case StateKind::kRdShOpt: from = StateWord::rd_sh_opt(c); break;
+    case StateKind::kWrExPess: from = StateWord::wr_ex_pess(owner_id); break;
+    case StateKind::kRdExPess: from = StateWord::rd_ex_pess(owner_id); break;
+    case StateKind::kRdShPess: from = StateWord::rd_sh_pess(c); break;
+    case StateKind::kWrExWLock: from = StateWord::wr_ex_wlock(owner_id); break;
+    case StateKind::kWrExRLock: from = StateWord::wr_ex_rlock(owner_id); break;
+    case StateKind::kRdExRLock: from = StateWord::rd_ex_rlock(owner_id); break;
+    case StateKind::kRdShRLock: from = StateWord::rd_sh_rlock(c, n); break;
+    default: FAIL() << "state not constructible in a unit harness";
   }
-  var.meta().reset(old_state);
-  if (row.actor_prelocked) {
-    actor.rd_set.insert(&var.meta());
-    actor.lock_buffer.push_back(&var.meta());
-  }
-  // Reading RdSh states without a fence transition requires an up-to-date
-  // per-thread counter; give the actor one for same-state rows.
-  actor.rd_sh_count = c;
+  meta.reset(from);
 
-  if (row.access == Access::kRead) {
+  // ActorRel::kOwner on counter-carrying states means "up to date" (RdShOpt)
+  // or "read-set member" (RdShRLock); the model's requires_* flags say what
+  // the actor's deferred-unlocking structures must already hold.
+  actor.rd_sh_count = key.rel == ActorRel::kOwner && from.is_rd_sh() ? c : 0;
+  if (outcome.requires_lock_buffer) actor.lock_buffer.push_back(&meta);
+  if (outcome.requires_rd_set) actor.rd_set.insert(&meta);
+
+  // ---- one access -----------------------------------------------------------
+  if (key.access == AccessKind::kRead) {
     (void)var.load(tracker, actor);
   } else {
     var.store(tracker, actor, 1);
   }
 
-  const StateWord got = var.meta().load_state();
-  EXPECT_EQ(got.kind(), row.new_kind)
-      << row.name << ": got " << got.to_string();
-  if (got.has_owner() && row.new_kind != StateKind::kRdShRLock) {
-    EXPECT_EQ(got.tid(), row.new_owner_is_actor ? actor.id : other.id)
-        << row.name;
+  // ---- successor vs the model ----------------------------------------------
+  const StateWord got = meta.load_state();
+  EXPECT_EQ(got.kind(), outcome.to) << "got " << got.to_string();
+  if (got.has_owner()) {
+    EXPECT_EQ(got.tid(), outcome.to_owned_by_actor ? actor.id : other.id);
   }
-  if (row.new_kind == StateKind::kRdShRLock) {
-    EXPECT_EQ(got.rdlock_count(), row.new_n) << row.name;
+  switch (outcome.counter) {
+    case CounterEffect::kNone:
+      break;
+    case CounterEffect::kKeep:
+      EXPECT_EQ(got.counter(), c);
+      break;
+    case CounterEffect::kFresh:
+      // Drawn from the global epoch counter of a fresh Runtime, which cannot
+      // have reached the fabricated epoch yet.
+      EXPECT_GT(got.counter(), 0u);
+      EXPECT_NE(got.counter(), c);
+      break;
   }
-  // Every locked new state must be tracked in the actor's lock buffer
-  // exactly once (unless the old state was already the actor's lock).
-  const StateWord final_state = var.meta().load_state();
-  if (final_state.is_pess_locked()) {
+  if (outcome.to == StateKind::kRdShRLock) {
+    std::uint32_t expect_n = 0;
+    switch (outcome.holders) {
+      case HolderEffect::kNone: expect_n = n; break;
+      case HolderEffect::kOne: expect_n = 1; break;
+      case HolderEffect::kTwo: expect_n = 2; break;
+      case HolderEffect::kIncrement: expect_n = n + 1; break;
+      case HolderEffect::kDecrement: expect_n = n - 1; break;
+    }
+    EXPECT_EQ(got.rdlock_count(), expect_n);
+  }
+
+  // ---- deferred-unlocking bookkeeping ---------------------------------------
+  if (outcome.enters_rd_set || outcome.requires_rd_set) {
+    EXPECT_TRUE(actor.rd_set.contains(&meta));
+  }
+  if (outcome.enters_lock_buffer || outcome.requires_lock_buffer) {
     int entries = 0;
-    for (ObjectMeta* m : actor.lock_buffer) entries += m == &var.meta() ? 1 : 0;
-    EXPECT_EQ(entries, 1) << row.name << ": lock buffer entries";
-    // Flushing releases exactly the actor's hold. Rows fabricating residual
-    // read locks held by the other thread keep those locks: RdShRLock(n)
-    // drops to n-1 rather than unlocking.
+    for (ObjectMeta* m : actor.lock_buffer) entries += m == &meta ? 1 : 0;
+    EXPECT_EQ(entries, 1) << "lock buffer must hold the object exactly once";
+  }
+  // Every locked successor must release at the next flush: fully, or by
+  // dropping to n-1 holders when the harness fabricated other holders.
+  if (got.is_pess_locked()) {
     tracker.flush(actor);
-    const StateWord after = var.meta().load_state();
-    if (final_state.kind() == StateKind::kRdShRLock &&
-        final_state.rdlock_count() > 1) {
-      ASSERT_EQ(after.kind(), StateKind::kRdShRLock) << row.name;
-      EXPECT_EQ(after.rdlock_count(), final_state.rdlock_count() - 1)
-          << row.name;
+    const StateWord after = meta.load_state();
+    if (got.kind() == StateKind::kRdShRLock && got.rdlock_count() > 1) {
+      ASSERT_EQ(after.kind(), StateKind::kRdShRLock);
+      EXPECT_EQ(after.rdlock_count(), got.rdlock_count() - 1);
     } else {
-      EXPECT_FALSE(after.is_pess_locked()) << row.name << ": "
-                                           << after.to_string();
+      EXPECT_FALSE(after.is_pess_locked()) << after.to_string();
     }
   }
 }
 
-const Row kRows[] = {
-    // --- reentrant rows (Same, None) ---------------------------------------
-    {"WrExWLock_T W by T", StateKind::kWrExWLock, true, 0, Access::kWrite,
-     StateKind::kWrExWLock, true, 0, true},
-    {"WrExWLock_T R by T", StateKind::kWrExWLock, true, 0, Access::kRead,
-     StateKind::kWrExWLock, true, 0, true},
-    {"WrExRLock_T R by T", StateKind::kWrExRLock, true, 0, Access::kRead,
-     StateKind::kWrExRLock, true, 0, true},
-    {"RdExRLock_T R by T", StateKind::kRdExRLock, true, 0, Access::kRead,
-     StateKind::kRdExRLock, true, 0, true},
-    {"RdShRLock(2) R by T in rdSet", StateKind::kRdShRLock, false, 2,
-     Access::kRead, StateKind::kRdShRLock, false, 2, true},
-
-    // --- pessimistic uncontended (CAS) --------------------------------------
-    {"WrExPess_T W by T", StateKind::kWrExPess, true, 0, Access::kWrite,
-     StateKind::kWrExWLock, true, 0, false},
-    {"WrExPess_T R by T", StateKind::kWrExPess, true, 0, Access::kRead,
-     StateKind::kWrExRLock, true, 0, false},
-    {"RdExPess_T R by T", StateKind::kRdExPess, true, 0, Access::kRead,
-     StateKind::kRdExRLock, true, 0, false},
-    {"RdExPess_T W by T", StateKind::kRdExPess, true, 0, Access::kWrite,
-     StateKind::kWrExWLock, true, 0, false},
-    {"RdExRLock_T W by T", StateKind::kRdExRLock, true, 0, Access::kWrite,
-     StateKind::kWrExWLock, true, 0, true},
-    {"WrExRLock_T W by T", StateKind::kWrExRLock, true, 0, Access::kWrite,
-     StateKind::kWrExWLock, true, 0, true},
-    {"RdExPess_T1 R by T2", StateKind::kRdExPess, false, 0, Access::kRead,
-     StateKind::kRdShRLock, false, 1, false},
-    {"RdExRLock_T1 R by T2", StateKind::kRdExRLock, false, 0, Access::kRead,
-     StateKind::kRdShRLock, false, 2, false},
-    {"WrExRLock_T1 R by T2", StateKind::kWrExRLock, false, 0, Access::kRead,
-     StateKind::kRdShRLock, false, 2, false},
-    {"RdShPess R by T", StateKind::kRdShPess, false, 0, Access::kRead,
-     StateKind::kRdShRLock, false, 1, false},
-    {"RdShRLock(1) R by T not in rdSet", StateKind::kRdShRLock, false, 1,
-     Access::kRead, StateKind::kRdShRLock, false, 2, false},
-    {"WrExPess_T1 W by T2", StateKind::kWrExPess, false, 0, Access::kWrite,
-     StateKind::kWrExWLock, true, 0, false},
-    {"WrExPess_T1 R by T2", StateKind::kWrExPess, false, 0, Access::kRead,
-     StateKind::kRdExRLock, true, 0, false},
-    {"RdExPess_T1 W by T2", StateKind::kRdExPess, false, 0, Access::kWrite,
-     StateKind::kWrExWLock, true, 0, false},
-    {"RdShPess W by T", StateKind::kRdShPess, false, 0, Access::kWrite,
-     StateKind::kWrExWLock, true, 0, false},
-    {"RdShRLock(1) W by sole holder", StateKind::kRdShRLock, false, 1,
-     Access::kWrite, StateKind::kWrExWLock, true, 0, true},
-
-    // --- optimistic same-state / upgrading ----------------------------------
-    {"WrExOpt_T W by T", StateKind::kWrExOpt, true, 0, Access::kWrite,
-     StateKind::kWrExOpt, true, 0, false},
-    {"WrExOpt_T R by T", StateKind::kWrExOpt, true, 0, Access::kRead,
-     StateKind::kWrExOpt, true, 0, false},
-    {"RdExOpt_T R by T", StateKind::kRdExOpt, true, 0, Access::kRead,
-     StateKind::kRdExOpt, true, 0, false},
-    {"RdExOpt_T W by T", StateKind::kRdExOpt, true, 0, Access::kWrite,
-     StateKind::kWrExOpt, true, 0, false},
-    {"RdExOpt_T1 R by T2", StateKind::kRdExOpt, false, 0, Access::kRead,
-     StateKind::kRdShOpt, false, 0, false},
-    {"RdShOpt R by T", StateKind::kRdShOpt, false, 0, Access::kRead,
-     StateKind::kRdShOpt, false, 0, false},
-};
-
-INSTANTIATE_TEST_SUITE_P(AllRows, Table3MatrixTest, ::testing::ValuesIn(kRows),
-                         [](const ::testing::TestParamInfo<Row>& info) {
-                           std::string s = info.param.name;
-                           for (char& ch : s) {
-                             if (!std::isalnum(static_cast<unsigned char>(ch)))
-                               ch = '_';
-                           }
-                           return s;
-                         });
+INSTANTIATE_TEST_SUITE_P(AllRows, Table3MatrixTest,
+                         ::testing::ValuesIn(resolvable_rows()), row_name);
 
 // The * footnote: pessimistic transitions into RdShRLock update the actor's
 // rd_sh_count to max(rd_sh_count, c).

@@ -1,0 +1,193 @@
+// The recorded-trace lint: cross-thread dependence checks on in-memory
+// recordings, file-level lint with loader-failure exit-code mapping, and
+// graceful degradation for pre-stamping (all-zero response) recordings.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/trace_lint.hpp"
+#include "recorder/recording_io.hpp"
+
+namespace ht {
+namespace {
+
+using analysis::lint_recording;
+using analysis::lint_recording_file;
+using analysis::LintResult;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// T0 responds (stamps 1, 2); T1 waited for T0's counter to reach 1.
+Recording genuine_recording() {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[0].events.push_back({3, LogEventType::kResponse, kNoThread, 1});
+  r.threads[0].events.push_back({8, LogEventType::kResponse, kNoThread, 2});
+  r.threads[1].events.push_back({5, LogEventType::kEdge, 0, 1});
+  return r;
+}
+
+TEST(TraceLint, GenuineRecordingPasses) {
+  const LintResult r = lint_recording(genuine_recording());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.graph_nodes, 3u);
+  EXPECT_EQ(r.graph_arcs, 1u);  // T0's response(1) -> T1's edge
+  EXPECT_FALSE(r.salvaged_prefix);
+}
+
+TEST(TraceLint, StructuralFailureShortCircuits) {
+  Recording r;
+  r.threads.resize(1);
+  r.threads[0].events.push_back({0, LogEventType::kEdge, 0, 1});  // self-edge
+  const LintResult lint = lint_recording(r);
+  EXPECT_FALSE(lint.ok());
+  EXPECT_FALSE(lint.structure.ok());
+  EXPECT_TRUE(lint.issues.empty());  // graph checks skipped
+  EXPECT_EQ(lint.graph_nodes, 0u);
+}
+
+TEST(TraceLint, FlagsNonMonotoneResponseStamps) {
+  Recording r;
+  r.threads.resize(1);
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 3});
+  r.threads[0].events.push_back({2, LogEventType::kResponse, kNoThread, 1});
+  const LintResult lint = lint_recording(r);
+  EXPECT_FALSE(lint.ok());
+  ASSERT_FALSE(lint.issues.empty());
+  EXPECT_NE(lint.issues[0].message.find("strictly increasing"),
+            std::string::npos);
+}
+
+TEST(TraceLint, FlagsDecreasingEdgeValuesPerSource) {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[1].events.push_back({1, LogEventType::kEdge, 0, 5});
+  r.threads[1].events.push_back({2, LogEventType::kEdge, 0, 3});
+  const LintResult lint = lint_recording(r);
+  EXPECT_FALSE(lint.ok());
+  ASSERT_EQ(lint.issues.size(), 1u);
+  EXPECT_EQ(lint.issues[0].thread, 1u);
+  EXPECT_EQ(lint.issues[0].event, 1u);
+  EXPECT_NE(lint.issues[0].message.find("edge value decreases"),
+            std::string::npos);
+}
+
+// Mutual waiting that no real-time execution can produce: each thread's
+// edge requires the other's response, and each response comes AFTER the
+// edge in its own program order.
+TEST(TraceLint, FlagsDependenceCycle) {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[0].events.push_back({1, LogEventType::kEdge, 1, 1});
+  r.threads[0].events.push_back({2, LogEventType::kResponse, kNoThread, 1});
+  r.threads[1].events.push_back({1, LogEventType::kEdge, 0, 1});
+  r.threads[1].events.push_back({2, LogEventType::kResponse, kNoThread, 1});
+  const LintResult lint = lint_recording(r);
+  EXPECT_FALSE(lint.ok());
+  ASSERT_FALSE(lint.issues.empty());
+  EXPECT_NE(lint.issues[0].message.find("cycle"), std::string::npos)
+      << lint.to_string();
+}
+
+// The same shape is fine when the responses precede the edges: the arcs all
+// point forward and a topological order exists.
+TEST(TraceLint, AcceptsAcyclicCrossDependences) {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 1});
+  r.threads[0].events.push_back({2, LogEventType::kEdge, 1, 1});
+  r.threads[1].events.push_back({1, LogEventType::kResponse, kNoThread, 1});
+  r.threads[1].events.push_back({2, LogEventType::kEdge, 0, 1});
+  const LintResult lint = lint_recording(r);
+  EXPECT_TRUE(lint.ok()) << lint.to_string();
+  EXPECT_EQ(lint.graph_arcs, 2u);
+}
+
+// Pre-stamping recordings carry value 0 on every response: no response
+// participates in the graph and the checks pass vacuously.
+TEST(TraceLint, LegacyZeroStampsDegradeGracefully) {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 0});
+  r.threads[1].events.push_back({2, LogEventType::kEdge, 0, 9});
+  const LintResult lint = lint_recording(r);
+  EXPECT_TRUE(lint.ok()) << lint.to_string();
+  EXPECT_EQ(lint.graph_arcs, 0u);
+}
+
+TEST(TraceLint, SalvagedFlagSurfacesInReport) {
+  const LintResult lint = lint_recording(genuine_recording(), /*salvaged=*/true);
+  EXPECT_TRUE(lint.ok());  // the checks themselves still pass
+  EXPECT_TRUE(lint.salvaged_prefix);
+  EXPECT_NE(lint.to_string().find("salvaged"), std::string::npos);
+}
+
+// ---- file-level lint + exit-code mapping ------------------------------------
+
+TEST(TraceLintFile, CleanFileRoundTrips) {
+  const std::string path = temp_path("ht_lint_clean.bin");
+  ASSERT_TRUE(save_recording(genuine_recording(), path));
+  const auto r = lint_recording_file(path);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(exit_code_for(r.load.error), kExitOk);
+  std::remove(path.c_str());
+}
+
+TEST(TraceLintFile, CorruptedFileMapsToChecksumExitCode) {
+  const std::string path = temp_path("ht_lint_corrupt.bin");
+  ASSERT_TRUE(save_recording(genuine_recording(), path));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(32);  // inside the first chunk, past the v2 header (20 bytes)
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(32);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.write(&byte, 1);
+  }
+  const auto r = lint_recording_file(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.load.error, RecordingLoadError::kChecksum);
+  EXPECT_EQ(exit_code_for(r.load.error), kExitChecksum);
+  // A valid prefix was salvaged and linted, flagged as partial.
+  if (r.load.recording.has_value()) {
+    EXPECT_TRUE(r.load.partial);
+    EXPECT_TRUE(r.lint.salvaged_prefix);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceLintFile, BadMagicMapsToExitCode) {
+  const std::string path = temp_path("ht_lint_badmagic.bin");
+  std::ofstream(path, std::ios::binary) << "not a recording at all";
+  const auto r = lint_recording_file(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(exit_code_for(r.load.error), kExitBadMagic);
+  std::remove(path.c_str());
+}
+
+TEST(TraceLintFile, MissingFileMapsToIoExitCode) {
+  const auto r = lint_recording_file("/nonexistent/dir/nothing.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(exit_code_for(r.load.error), kExitIo);
+}
+
+TEST(ExitCodes, DistinctAndStable) {
+  EXPECT_EQ(exit_code_for(RecordingLoadError::kNone), 0);
+  EXPECT_EQ(exit_code_for(RecordingLoadError::kBadMagic), 2);
+  EXPECT_EQ(exit_code_for(RecordingLoadError::kBadVersion), 3);
+  EXPECT_EQ(exit_code_for(RecordingLoadError::kTruncated), 4);
+  EXPECT_EQ(exit_code_for(RecordingLoadError::kChecksum), 5);
+  EXPECT_EQ(exit_code_for(RecordingLoadError::kIo), 6);
+  // Structure/lint rejections use their own documented codes.
+  EXPECT_EQ(kExitStructure, 7);
+  EXPECT_EQ(kExitLint, 8);
+  EXPECT_EQ(kExitUsage, 1);
+}
+
+}  // namespace
+}  // namespace ht

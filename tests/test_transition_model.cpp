@@ -1,0 +1,162 @@
+// The conformance model itself: the offline exhaustive model check over
+// every family, spot checks pinning known paper rows, and the shadow
+// checker's violation reporting (exercised directly — the checker is always
+// compiled into the library; only the tracker hooks are build-gated).
+#include <gtest/gtest.h>
+
+#include "analysis/model_check.hpp"
+#include "analysis/transition_checker.hpp"
+#include "analysis/transition_model.hpp"
+
+namespace ht {
+namespace {
+
+using namespace analysis;
+
+// The tentpole property: for every family, every enumerable key resolves
+// deterministically, successors stay inside the family's state universe,
+// and the deferred-unlocking invariants of §3 hold — no exceptions.
+TEST(ModelCheck, AllFamiliesPassExhaustiveCheck) {
+  for (const ModelCheckResult& r : check_all_models()) {
+    EXPECT_TRUE(r.ok()) << tracker_family_name(r.family) << ":\n"
+                        << [&] {
+                             std::string all;
+                             for (const std::string& v : r.violations)
+                               all += "  " + v + "\n";
+                             return all;
+                           }();
+    EXPECT_GT(r.keys_checked, 0u);
+    EXPECT_GT(r.legal_transitions, 0u);
+  }
+}
+
+TEST(ModelCheck, HybridKeySpaceIsExhaustive) {
+  // 11 states x {read, write, unlock} x {owner, other} x 2 policies x
+  // 3 WrExReadModes, doubled for RdShRLock's sole-holder split.
+  const auto keys = enumerate_keys(TrackerFamily::kHybrid);
+  EXPECT_EQ(keys.size(), (10u + 2u) * 3u * 2u * 2u * 3u);
+}
+
+TransitionKey key(StateKind from, AccessKind access, ActorRel rel,
+                  bool sole = false, PolicyChoice policy = PolicyChoice::kOpt,
+                  WrExReadMode mode = WrExReadMode::kFull) {
+  TransitionKey k;
+  k.from = from;
+  k.access = access;
+  k.rel = rel;
+  k.sole_holder = sole;
+  k.policy = policy;
+  k.mode = mode;
+  return k;
+}
+
+// Spot checks pinning the model to rows a reader can find in the paper.
+TEST(TransitionModel, PinsKnownTable3Rows) {
+  // WrExPess read by its owner: mode decides the lock taken (§7.1).
+  Outcome o = transition_outcome(
+      TrackerFamily::kHybrid, key(StateKind::kWrExPess, AccessKind::kRead,
+                                  ActorRel::kOwner));
+  EXPECT_EQ(o.kind, OutcomeKind::kTransition);
+  EXPECT_EQ(o.to, StateKind::kWrExRLock);
+  EXPECT_EQ(o.mechanism, Mechanism::kCas);
+  EXPECT_TRUE(o.enters_lock_buffer);
+  EXPECT_TRUE(o.enters_rd_set);
+
+  o = transition_outcome(
+      TrackerFamily::kHybrid,
+      key(StateKind::kWrExPess, AccessKind::kRead, ActorRel::kOwner, false,
+          PolicyChoice::kOpt, WrExReadMode::kOmitWrExRLock));
+  EXPECT_EQ(o.to, StateKind::kWrExWLock);
+  EXPECT_FALSE(o.enters_rd_set);
+
+  // Sole RdShRLock holder upgrades in place; with other holders it contends.
+  o = transition_outcome(TrackerFamily::kHybrid,
+                         key(StateKind::kRdShRLock, AccessKind::kWrite,
+                             ActorRel::kOwner, /*sole=*/true));
+  EXPECT_EQ(o.to, StateKind::kWrExWLock);
+  o = transition_outcome(TrackerFamily::kHybrid,
+                         key(StateKind::kRdShRLock, AccessKind::kWrite,
+                             ActorRel::kOwner, /*sole=*/false));
+  EXPECT_EQ(o.kind, OutcomeKind::kContended);
+
+  // Every access observing Int waits (Fig 1 line 18).
+  o = transition_outcome(TrackerFamily::kHybrid,
+                         key(StateKind::kInt, AccessKind::kRead,
+                             ActorRel::kOther));
+  EXPECT_EQ(o.kind, OutcomeKind::kContended);
+
+  // Optimistic conflicting transitions land per the adaptive policy.
+  o = transition_outcome(TrackerFamily::kHybrid,
+                         key(StateKind::kWrExOpt, AccessKind::kWrite,
+                             ActorRel::kOther, false, PolicyChoice::kPess));
+  EXPECT_EQ(o.to, StateKind::kWrExWLock);
+  EXPECT_TRUE(o.begins_coordination);
+  EXPECT_EQ(o.mechanism, Mechanism::kCoordination);
+
+  // The ideal tracker elides the coordination (that is what makes it a
+  // limit study, and unsound).
+  o = transition_outcome(TrackerFamily::kIdeal,
+                         key(StateKind::kWrExOpt, AccessKind::kWrite,
+                             ActorRel::kOther));
+  EXPECT_EQ(o.mechanism, Mechanism::kCas);
+  EXPECT_FALSE(o.begins_coordination);
+}
+
+TEST(TransitionModel, UnlockRowsExistOnlyForLockedStates) {
+  for (StateKind s : family_states(TrackerFamily::kHybrid)) {
+    const Outcome o = transition_outcome(
+        TrackerFamily::kHybrid, key(s, AccessKind::kUnlock, ActorRel::kOwner));
+    const bool locked =
+        s == StateKind::kWrExWLock || s == StateKind::kWrExRLock ||
+        s == StateKind::kRdExRLock || s == StateKind::kRdShRLock;
+    EXPECT_EQ(o.kind != OutcomeKind::kIllegal, locked) << state_kind_name(s);
+  }
+}
+
+// The shadow checker validates a conforming observation and flags a
+// nonconforming one, counting both.
+TEST(TransitionChecker, CountsChecksAndViolations) {
+  set_abort_on_violation(false);
+  reset_transition_counters();
+
+  TransitionObs obs;
+  obs.family = TrackerFamily::kHybrid;
+  obs.actor = 0;
+  obs.from = StateWord::wr_ex_pess(0);
+  obs.to = StateWord::wr_ex_rlock(0);
+  obs.access = AccessKind::kRead;
+  obs.rel = ActorRel::kOwner;
+  obs.taken = Mechanism::kCas;
+  obs.in_lock_buffer = true;
+  obs.in_rd_set = true;
+  check_transition(obs);
+  EXPECT_EQ(transition_checks(), 1u);
+  EXPECT_EQ(transition_violations(), 0u);
+
+  // Same key, wrong successor: the full model must read-lock, not
+  // write-lock (that is the kOmitWrExRLock prototype's behavior).
+  obs.to = StateWord::wr_ex_wlock(0);
+  obs.in_rd_set = false;
+  check_transition(obs);
+  EXPECT_EQ(transition_checks(), 2u);
+  EXPECT_EQ(transition_violations(), 1u);
+
+  // A key the model calls contended must not commit a transition at all...
+  obs.from = StateWord::intermediate(1);
+  obs.to = StateWord::wr_ex_opt(0);
+  obs.rel = ActorRel::kOther;
+  check_transition(obs);
+  EXPECT_EQ(transition_violations(), 2u);
+
+  // ...and check_contended accepts exactly that key.
+  reset_transition_counters();
+  check_contended(obs);
+  EXPECT_EQ(transition_checks(), 1u);
+  EXPECT_EQ(transition_violations(), 0u);
+
+  reset_transition_counters();
+  set_abort_on_violation(true);
+}
+
+}  // namespace
+}  // namespace ht

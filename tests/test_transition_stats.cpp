@@ -1,0 +1,109 @@
+// TransitionStats aggregation (per-thread counters merged after joins) and
+// the Table-2-style row formatter.
+#include <gtest/gtest.h>
+
+#include "tracking/transition_stats.hpp"
+
+namespace ht {
+namespace {
+
+TransitionStats filled(std::uint64_t base) {
+  TransitionStats s;
+  s.opt_same = base + 1;
+  s.opt_upgrading = base + 2;
+  s.opt_fence = base + 3;
+  s.opt_confl_explicit = base + 4;
+  s.opt_confl_implicit = base + 5;
+  s.pess_uncontended = base + 6;
+  s.pess_reentrant = base + 7;
+  s.pess_contended = base + 8;
+  s.opt_to_pess = base + 9;
+  s.pess_to_opt = base + 10;
+  s.pess_alone_same = base + 11;
+  s.pess_alone_cross = base + 12;
+  s.coordination_rounds = base + 13;
+  s.responding_safepoints = base + 14;
+  s.psros = base + 15;
+  s.region_restarts = base + 16;
+  return s;
+}
+
+TEST(TransitionStats, PlusEqualsAggregatesEveryField) {
+  TransitionStats a = filled(0);
+  const TransitionStats b = filled(100);
+  TransitionStats& ret = a += b;
+  EXPECT_EQ(&ret, &a);  // chains
+
+  EXPECT_EQ(a.opt_same, 1u + 101u);
+  EXPECT_EQ(a.opt_upgrading, 2u + 102u);
+  EXPECT_EQ(a.opt_fence, 3u + 103u);
+  EXPECT_EQ(a.opt_confl_explicit, 4u + 104u);
+  EXPECT_EQ(a.opt_confl_implicit, 5u + 105u);
+  EXPECT_EQ(a.pess_uncontended, 6u + 106u);
+  EXPECT_EQ(a.pess_reentrant, 7u + 107u);
+  EXPECT_EQ(a.pess_contended, 8u + 108u);
+  EXPECT_EQ(a.opt_to_pess, 9u + 109u);
+  EXPECT_EQ(a.pess_to_opt, 10u + 110u);
+  EXPECT_EQ(a.pess_alone_same, 11u + 111u);
+  EXPECT_EQ(a.pess_alone_cross, 12u + 112u);
+  EXPECT_EQ(a.coordination_rounds, 13u + 113u);
+  EXPECT_EQ(a.responding_safepoints, 14u + 114u);
+  EXPECT_EQ(a.psros, 15u + 115u);
+  EXPECT_EQ(a.region_restarts, 16u + 116u);
+
+  // The merged counters keep the derived quantities consistent.
+  EXPECT_EQ(a.opt_conflicting(), a.opt_confl_explicit + a.opt_confl_implicit);
+  EXPECT_EQ(a.opt_total(),
+            a.opt_same + a.opt_upgrading + a.opt_fence + a.opt_conflicting());
+  EXPECT_EQ(a.pess_total(), a.pess_uncontended + a.pess_contended);
+  EXPECT_EQ(a.accesses(), a.opt_total() + a.pess_total() + a.pess_alone_same +
+                              a.pess_alone_cross);
+}
+
+TEST(TransitionStats, PlusEqualsWithZeroIsIdentity) {
+  TransitionStats a = filled(7);
+  const TransitionStats before = a;
+  a += TransitionStats{};
+  EXPECT_EQ(a.opt_same, before.opt_same);
+  EXPECT_EQ(a.accesses(), before.accesses());
+  EXPECT_EQ(a.region_restarts, before.region_restarts);
+}
+
+TEST(TransitionStats, ReentrantFraction) {
+  TransitionStats s;
+  EXPECT_EQ(s.reentrant_fraction(), 0.0);  // no division by zero
+  s.pess_uncontended = 8;
+  s.pess_reentrant = 2;
+  EXPECT_DOUBLE_EQ(s.reentrant_fraction(), 0.25);
+}
+
+TEST(TransitionStats, Table2RowFormatsCounters) {
+  TransitionStats s;
+  s.opt_same = 1'200'000;  // formatted in scientific notation
+  s.opt_confl_explicit = 30;
+  s.opt_confl_implicit = 12;  // opt_conflicting = 42
+  s.pess_uncontended = 4;
+  s.pess_reentrant = 2;  // 50%
+  s.pess_contended = 9;
+  s.opt_to_pess = 3;
+  s.pess_to_opt = 0;
+
+  const std::string row = s.table2_row();
+  EXPECT_NE(row.find("1.2e6"), std::string::npos) << row;
+  EXPECT_NE(row.find("42"), std::string::npos) << row;
+  EXPECT_NE(row.find("50%"), std::string::npos) << row;
+  EXPECT_NE(row.find("9"), std::string::npos) << row;
+
+  // Column order is opt-same, opt-confl, pess-uncont, %reent, pess-cont.
+  EXPECT_LT(row.find("1.2e6"), row.find("42")) << row;
+  EXPECT_LT(row.find("42"), row.find("50%")) << row;
+}
+
+TEST(TransitionStats, Table2RowAllZeros) {
+  const std::string row = TransitionStats{}.table2_row();
+  EXPECT_NE(row.find('0'), std::string::npos);
+  EXPECT_NE(row.find("0%"), std::string::npos) << row;
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,49 @@
+// recording_validate: loads a recording file and runs the structural
+// well-formedness checks (recorder/recording_validate.hpp) — the same
+// validation the replayer relies on. For the deeper cross-thread dependence
+// checks use trace_lint, which layers on top of this.
+//
+// Exit codes are the shared ToolExitCode values (see README.md): 0 OK,
+// 1 usage, 2 bad magic, 3 bad version, 4 truncated, 5 checksum mismatch,
+// 6 I/O error, 7 structural validation failure.
+//
+//   build/tools/recording_validate [--allow-partial] <recording.bin>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "recorder/recording_validate.hpp"
+
+int main(int argc, char** argv) {
+  bool allow_partial = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      allow_partial = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "recording_validate: unknown option '%s'\n",
+                   argv[i]);
+      return ht::kExitUsage;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "recording_validate: more than one input file\n");
+      return ht::kExitUsage;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: recording_validate [--allow-partial] "
+                 "<recording.bin>\n");
+    return ht::kExitUsage;
+  }
+
+  const ht::FileCheckResult r = ht::check_recording_file(path);
+  std::printf("%s: %s\n", path.c_str(), r.to_string().c_str());
+
+  if (!r.load.recording.has_value()) return ht::exit_code_for(r.load.error);
+  if (!r.load.complete() && !allow_partial)
+    return ht::exit_code_for(r.load.error);
+  if (!r.structure.ok()) return ht::kExitStructure;
+  return ht::kExitOk;
+}

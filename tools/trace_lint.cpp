@@ -1,0 +1,60 @@
+// trace_lint: offline lint for recording files (v1 or v2, including
+// salvaged prefixes). Layers the cross-thread dependence checks from
+// src/analysis/trace_lint.hpp on top of loading + structural validation:
+//
+//   * release-counter stamps strictly increasing per thread,
+//   * edge values non-decreasing per (sink, source) pair,
+//   * the cross-thread dependence graph is acyclic — every wr->rd edge is
+//     consistent with a topological order,
+//   * salvaged-prefix files are flagged (and fail unless --allow-partial).
+//
+// Exit codes are the shared ToolExitCode values (see README.md): 0 OK,
+// 1 usage, 2 bad magic, 3 bad version, 4 truncated, 5 checksum mismatch,
+// 6 I/O error, 7 structural validation failure, 8 lint failure.
+//
+//   build/tools/trace_lint [--allow-partial] <recording.bin>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/trace_lint.hpp"
+#include "recorder/recording_validate.hpp"
+
+int main(int argc, char** argv) {
+  bool allow_partial = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      allow_partial = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "trace_lint: unknown option '%s'\n", argv[i]);
+      return ht::kExitUsage;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "trace_lint: more than one input file\n");
+      return ht::kExitUsage;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_lint [--allow-partial] <recording.bin>\n"
+                 "  --allow-partial  accept a salvaged v2 prefix (the lint\n"
+                 "                   still runs on the recovered events)\n");
+    return ht::kExitUsage;
+  }
+
+  const ht::analysis::FileLintResult r =
+      ht::analysis::lint_recording_file(path);
+  std::printf("%s: %s\n", path.c_str(), r.to_string().c_str());
+
+  // Nothing recoverable: the load reason is the whole story.
+  if (!r.load.recording.has_value()) return ht::exit_code_for(r.load.error);
+  // A salvaged prefix still lints (a prefix of a genuine recording is
+  // genuine), but scripts must opt in to treating it as acceptable.
+  if (!r.load.complete() && !allow_partial)
+    return ht::exit_code_for(r.load.error);
+  if (!r.lint.structure.ok()) return ht::kExitStructure;
+  if (!r.lint.issues.empty()) return ht::kExitLint;
+  return ht::kExitOk;
+}
