@@ -186,8 +186,10 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
           remote.owner_side.release_counter.load(std::memory_order_acquire),
           /*implicit=*/true};
     }
-    respond_while_waiting(self);  // may throw RegionRestart
-    backoff.pause();
+    respond_while_waiting(self);  // may throw RegionRestart; wait point
+    // Under a virtual scheduler the wait point above already yielded the
+    // virtual CPU; OS backoff on top would only burn wall time.
+    if (!schedule::virtualized()) backoff.pause();
     ++epochs;
     if (max_epochs != 0 && epochs >= max_epochs) {
       // Bounded wait expired. The abandoned ticket stays harmless: it is

@@ -38,6 +38,7 @@
 #include "common/assert.hpp"
 #include "runtime/thread_context.hpp"
 #include "runtime/thread_registry.hpp"
+#include "schedule/schedule_point.hpp"
 
 namespace ht {
 
@@ -171,6 +172,11 @@ class Runtime {
         throw RegionRestart{};
       }
     }
+    // Every responding spin iteration is a scheduling point under virtual
+    // scheduling (wait flavor: a failed re-check is not forward progress).
+    // This single hook covers the tracker Int/contended wait loops and the
+    // coordinate() ticket wait, all of which respond while waiting.
+    schedule::wait_point();
   }
 
   // Injection site for tracker slow paths (CAS/Int wait loops); a no-op

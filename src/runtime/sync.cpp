@@ -1,5 +1,7 @@
 #include "runtime/sync.hpp"
 
+#include "schedule/schedule_point.hpp"
+
 namespace ht {
 
 void ProgramLock::acquire(ThreadContext& ctx) {
@@ -11,10 +13,18 @@ void ProgramLock::acquire(ThreadContext& ctx) {
   }
   Runtime& rt = *ctx.runtime;
   rt.begin_blocking(ctx);
-  mu_.lock();
+  if (schedule::virtualized()) {
+    // Blocking in the OS would wedge the virtual CPU; spin at wait points so
+    // the scheduler can run the holder to its release.
+    while (!mu_.try_lock()) schedule::wait_point();
+  } else {
+    mu_.lock();
+  }
   rt.end_blocking(ctx);
   HT_TSAN_ACQUIRE(this);
 }
+
+void ProgramLock::abandon() { mu_.unlock(); }
 
 void ProgramLock::release(ThreadContext& ctx) {
   ctx.runtime->psro(ctx);  // flush + deterministic release-counter bump
@@ -38,6 +48,13 @@ void ProgramBarrier::arrive_and_wait(ThreadContext& ctx) {
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();
+    } else if (schedule::virtualized()) {
+      // Same no-OS-blocking rule as ProgramLock::acquire.
+      while (generation_ == gen) {
+        g.unlock();
+        schedule::wait_point();
+        g.lock();
+      }
     } else {
       cv_.wait(g, [&] { return generation_ != gen; });
     }

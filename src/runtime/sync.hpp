@@ -32,6 +32,13 @@ class ProgramLock {
   void acquire(ThreadContext& ctx);
   void release(ThreadContext& ctx);
 
+  // Raw unlock without runtime involvement, for the schedule explorer's
+  // abort path: a cancelled run unwinds past the program's own release
+  // sites, and the (still-locked) mutex must be released by the holding
+  // thread before the next run's fresh world is built. Never part of a
+  // normal execution.
+  void abandon();
+
   // RAII critical section.
   class Scope {
    public:

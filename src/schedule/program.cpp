@@ -1,0 +1,170 @@
+#include "schedule/program.hpp"
+
+#include "common/xorshift.hpp"
+
+namespace ht::schedule {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kStoreReg: return "store-reg";
+    case OpKind::kPsro: return "psro";
+    case OpKind::kBlockWindow: return "block";
+    case OpKind::kLockAcquire: return "lock";
+    case OpKind::kLockRelease: return "unlock";
+  }
+  return "?";
+}
+
+namespace {
+
+Op ld(int obj) { return {OpKind::kLoad, obj, 0, 0}; }
+Op st(int obj, std::uint64_t v) { return {OpKind::kStore, obj, 0, v}; }
+Op streg(int obj, std::uint64_t add) { return {OpKind::kStoreReg, obj, 0, add}; }
+Op psro() { return {OpKind::kPsro, 0, 0, 0}; }
+Op block() { return {OpKind::kBlockWindow, 0, 0, 0}; }
+Op lock(int l) { return {OpKind::kLockAcquire, 0, l, 0}; }
+Op unlock(int l) { return {OpKind::kLockRelease, 0, l, 0}; }
+
+std::vector<NamedProgram> build() {
+  std::vector<NamedProgram> p;
+
+  // Write/write conflicts on two objects with opposite initial owners: every
+  // interleaving of the four stores exercises the conflicting-write rows
+  // (Int entry + coordination landing) in both directions.
+  p.push_back({"ww-conflict",
+               "2 threads cross-storing 2 objects with opposite owners",
+               {.objects = 2,
+                .locks = 0,
+                .threads = {{st(0, 1), st(1, 2)}, {st(1, 3), st(0, 4)}},
+                .init = {{0, false}, {1, false}}}});
+
+  // Read-sharing formation and its collapse: loads drive WrEx -> RdEx ->
+  // RdShOpt (fresh epoch), then a store forces the coordinate-with-all-others
+  // fall-back (footnote 4) out of the shared state.
+  p.push_back({"read-share",
+               "2 readers form RdShOpt on obj 0, then a store collapses it",
+               {.objects = 2,
+                .locks = 0,
+                .threads = {{ld(0), ld(1), st(0, 7)}, {ld(0), ld(1)}},
+                .init = {{0, false}, {1, false}}}});
+
+  // Three threads fanning into a read share and colliding on the way out:
+  // the RdSh write row must coordinate with every other thread.
+  p.push_back({"rdsh-fan",
+               "3 threads read-share obj 0; two then store",
+               {.objects = 1,
+                .locks = 0,
+                .threads = {{ld(0), st(0, 1)}, {ld(0)}, {ld(0), st(0, 2)}},
+                .init = {}}});
+
+  // Deferred unlocking (§3.1): obj 0 starts WrExPess(T0); T0's store
+  // write-locks it into T0's lock buffer, the PSRO flushes it, and T1's
+  // store races the flush — landing before (contended wait on WrExWLock) or
+  // after (uncontended pessimistic CAS) depending on the schedule.
+  p.push_back({"deferred-unlock",
+               "pess write lock held across ops until a PSRO flush, racing a taker",
+               {.objects = 2,
+                .locks = 0,
+                .threads = {{st(0, 1), st(1, 2), psro()}, {st(0, 3), psro()}},
+                .init = {{0, true}, {1, false}}}});
+
+  // Read-lock corners of Table 3: a pessimistic object read by both threads
+  // forms RdShRLock (two holders, fresh epoch); the write afterwards must
+  // wait for the other holder's flush.
+  p.push_back({"rdsh-rlock",
+               "pess reads form RdShRLock; a write waits out the holders",
+               {.objects = 1,
+                .locks = 0,
+                .threads = {{ld(0), psro(), st(0, 5), psro()},
+                            {ld(0), psro()}},
+                .init = {{0, true}}}});
+
+  // Fall-back (implicit) coordination: T0 parks in a blocking window, so
+  // T1's conflicting accesses coordinate via the blocked-status CAS instead
+  // of a ticketed round trip — or explicitly, when T1 lands before the park.
+  p.push_back({"blocked-owner",
+               "conflicting access races the owner's blocking window",
+               {.objects = 2,
+                .locks = 0,
+                .threads = {{st(0, 1), block(), st(1, 2)},
+                            {st(0, 3), ld(1)}},
+                .init = {{0, false}, {1, false}}}});
+
+  // Lock-synchronized increments: data-race-free by construction, so the
+  // vector-clock oracle must stay silent and the final value must be exactly
+  // one increment per thread in EVERY interleaving.
+  p.push_back({"locked-inc",
+               "2 threads do lock; reg=obj0; obj0=reg+1; unlock",
+               {.objects = 1,
+                .locks = 1,
+                .threads = {{lock(0), ld(0), streg(0, 1), unlock(0)},
+                            {lock(0), ld(0), streg(0, 1), unlock(0)}},
+                .init = {}}});
+
+  // The same increments with the lock removed: racy on purpose, used to
+  // prove the race-detector oracle actually fires under exploration.
+  p.push_back({"racy-inc",
+               "2 threads do reg=obj0; obj0=reg+1 with no lock",
+               {.objects = 1,
+                .locks = 0,
+                .threads = {{ld(0), streg(0, 1)}, {ld(0), streg(0, 1)}},
+                .init = {}}});
+
+  return p;
+}
+
+}  // namespace
+
+const std::vector<NamedProgram>& builtin_programs() {
+  static const std::vector<NamedProgram> programs = build();
+  return programs;
+}
+
+const Program* find_builtin(const std::string& name) {
+  for (const NamedProgram& np : builtin_programs()) {
+    if (np.name == name) return &np.program;
+  }
+  return nullptr;
+}
+
+Program make_chaos_program(std::uint64_t seed, int nthreads, int objects,
+                           int ops_per_thread) {
+  Program p;
+  p.objects = objects;
+  p.locks = 0;
+  p.threads.resize(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    // Same per-thread seeding shape as tests/test_chaos.cpp so fault streams
+    // and op mixes stay comparable across the two suites.
+    Xoshiro256 rng(seed * 977 + static_cast<std::uint64_t>(t));
+    auto& ops = p.threads[static_cast<std::size_t>(t)];
+    ops.reserve(static_cast<std::size_t>(ops_per_thread));
+    for (int i = 0; i < ops_per_thread; ++i) {
+      const int obj = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(objects)));
+      switch (rng.next_below(8)) {
+        case 0:
+        case 1:
+        case 2:
+          ops.push_back({OpKind::kStore, obj, 0, rng.next()});
+          break;
+        case 3:
+        case 4:
+        case 5:
+          ops.push_back({OpKind::kLoad, obj, 0, 0});
+          break;
+        case 6:
+          ops.push_back({OpKind::kPsro, 0, 0, 0});
+          break;
+        case 7:
+          ops.push_back({OpKind::kBlockWindow, 0, 0, 0});
+          break;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace ht::schedule

@@ -1,0 +1,80 @@
+// Op-list programs for the interleaving explorer.
+//
+// A Program is a tiny, fully deterministic multi-threaded tracker workload:
+// per-slot lists of accesses, PSROs, blocking windows, and program-lock
+// operations over a handful of tracked objects. Object/lock *indices* (never
+// addresses) appear everywhere so the same program re-executes identically
+// across thousands of fresh runtimes, and so a schedule trace recorded in
+// one process replays bit-identically in another.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ht::schedule {
+
+enum class OpKind : std::uint8_t {
+  kLoad,         // reg = objects[obj]
+  kStore,        // objects[obj] = value
+  kStoreReg,     // objects[obj] = reg + value (reads nothing; uses last load)
+  kPsro,         // program-structured release operation (flushes lock buffer)
+  kBlockWindow,  // begin_blocking; scheduling point; end_blocking
+  kLockAcquire,  // locks[lock].acquire — blocking safe point when contended
+  kLockRelease,  // locks[lock].release — a PSRO
+};
+
+const char* op_kind_name(OpKind k);
+
+struct Op {
+  OpKind kind = OpKind::kLoad;
+  int obj = 0;
+  int lock = 0;
+  std::uint64_t value = 0;
+};
+
+// Initial metadata for one object: which slot allocates it (the paper's
+// "newly allocated by thread T starts in WrEx_T", §6.2) and whether the
+// hybrid/pessimistic run forces it to start in the pessimistic flavor —
+// needed to reach the Table 3 deferred-unlock rows without first driving the
+// adaptive policy through a transfer.
+struct ObjInit {
+  int owner = 0;
+  bool pess = false;
+};
+
+struct Program {
+  int objects = 1;
+  int locks = 0;
+  std::vector<std::vector<Op>> threads;
+  std::vector<ObjInit> init;  // empty == every object {owner 0, optimistic}
+
+  int nthreads() const { return static_cast<int>(threads.size()); }
+  ObjInit obj_init(int obj) const {
+    return static_cast<std::size_t>(obj) < init.size()
+               ? init[static_cast<std::size_t>(obj)]
+               : ObjInit{};
+  }
+};
+
+struct NamedProgram {
+  std::string name;
+  const char* note;
+  Program program;
+};
+
+// Hand-written 2–3 thread, ≤2 object corner programs: the conflict,
+// read-sharing, deferred-unlock, and fall-back-coordination rows of
+// Table 1/Table 3 in minimal form. These are the exhaustive-enumeration
+// targets (tests/test_schedule_exhaustive.cpp) and are addressable by name
+// from tools/schedule_explore and from trace files.
+const std::vector<NamedProgram>& builtin_programs();
+const Program* find_builtin(const std::string& name);
+
+// Chaos-style random program mirroring tests/test_chaos.cpp's op mix
+// (3/8 store, 3/8 load, 1/8 PSRO, 1/8 blocking window), deterministic in
+// (seed, slot). Used by the deterministic chaos re-runs and the fuzz CLI.
+Program make_chaos_program(std::uint64_t seed, int nthreads, int objects,
+                           int ops_per_thread);
+
+}  // namespace ht::schedule

@@ -1,0 +1,81 @@
+// Schedule-point shim: the single indirection through which runtime wait
+// loops and workload yield sites hand control to a virtual scheduler.
+//
+// Production runs install no scheduler, so every shim call is a TLS load plus
+// a predictable branch (yield sites fall back to std::this_thread::yield(),
+// exactly the pre-shim behavior). Under exploration (src/schedule/
+// virtual_scheduler.hpp) the shim parks the calling OS thread until the
+// active schedule strategy grants it the (single) virtual CPU, which is what
+// makes interleavings enumerable and replayable: every context switch happens
+// at a sequence-numbered scheduling point chosen by the strategy, never by
+// the OS.
+//
+// Two flavors of point:
+//   * point()      — a normal scheduling point (safe-point poll cadence,
+//                    yield sites between regions/ops). The thread stays
+//                    runnable; reaching one counts as forward progress.
+//   * wait_point() — a point inside a nondeterministic spin loop (Int-state
+//                    waits, coordinate() ticket waits, ProgramLock acquire).
+//                    The thread is still schedulable — granting it re-checks
+//                    the condition — but the scheduler knows no progress was
+//                    made, which drives livelock/deadlock detection and keeps
+//                    failed re-checks out of the explored choice space.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace ht::schedule {
+
+class VirtualScheduler;
+
+struct TlsSlot {
+  VirtualScheduler* sched = nullptr;
+  int slot = -1;
+};
+
+inline TlsSlot& tls_slot() {
+  thread_local TlsSlot s;
+  return s;
+}
+
+// True when the calling thread is bound to a virtual scheduler. Wait loops
+// use this to skip OS backoff (sleeping while holding the virtual CPU would
+// only waste wall time; the scheduler provides fairness instead).
+inline bool virtualized() { return tls_slot().sched != nullptr; }
+
+namespace detail {
+// Out of line in virtual_scheduler.cpp; only reached when virtualized.
+void park_point(TlsSlot& t);
+void park_wait(TlsSlot& t);
+}  // namespace detail
+
+inline void point() {
+  TlsSlot& t = tls_slot();
+  if (t.sched != nullptr) detail::park_point(t);
+}
+
+inline void wait_point() {
+  TlsSlot& t = tls_slot();
+  if (t.sched != nullptr) detail::park_wait(t);
+}
+
+// Yield-site replacement: under a virtual scheduler a yield is a scheduling
+// point; otherwise it is the plain OS yield the call site used to perform.
+inline void yield_point() {
+  TlsSlot& t = tls_slot();
+  if (t.sched != nullptr) {
+    detail::park_point(t);
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+// Shared yield-cadence helper: workloads and microbenchmarks yield every
+// `every` iterations (0 disables). Factored here so every run variant shares
+// one scheduling-point implementation instead of hand-rolling the modulo.
+inline void cadence_point(std::uint64_t iteration, std::uint64_t every) {
+  if (every != 0 && (iteration + 1) % every == 0) yield_point();
+}
+
+}  // namespace ht::schedule

@@ -1,0 +1,234 @@
+#include "schedule/virtual_scheduler.hpp"
+
+#include <algorithm>
+
+namespace ht::schedule {
+
+namespace detail {
+
+void park_point(TlsSlot& t) { t.sched->park_point(t.slot); }
+void park_wait(TlsSlot& t) { t.sched->park_wait(t.slot); }
+
+}  // namespace detail
+
+VirtualScheduler::VirtualScheduler(Config cfg, Strategy& strategy)
+    : cfg_(std::move(cfg)), strategy_(strategy) {
+  HT_ASSERT(cfg_.nthreads >= 1, "scheduler needs at least one slot");
+  slots_.resize(static_cast<std::size_t>(cfg_.nthreads));
+}
+
+void VirtualScheduler::attach(Slot s) {
+  TlsSlot& t = tls_slot();
+  HT_ASSERT(t.sched == nullptr, "thread already bound to a scheduler");
+  t.sched = this;
+  t.slot = s;
+  std::unique_lock<std::mutex> g(mu_);
+  HT_ASSERT(slots_[s].state == SlotState::kNotArrived, "slot attached twice");
+  slots_[s].state = SlotState::kSetupParked;
+  try_setup_grant_locked();
+  wait_for_grant(g, s);
+}
+
+void VirtualScheduler::setup_done(Slot s) {
+  std::unique_lock<std::mutex> g(mu_);
+  HT_ASSERT(setup_phase_ && setup_next_ == s, "setup_done out of order");
+  slots_[s].state = SlotState::kPhaseParked;
+  ++setup_next_;
+  if (setup_next_ == cfg_.nthreads) {
+    setup_phase_ = false;
+    for (auto& sd : slots_) {
+      if (sd.state == SlotState::kPhaseParked) sd.state = SlotState::kRunnable;
+    }
+    if (cfg_.on_run_start) cfg_.on_run_start();
+    pick_next_locked();
+  } else {
+    try_setup_grant_locked();
+  }
+  wait_for_grant(g, s);
+}
+
+void VirtualScheduler::detach(Slot s) {
+  {
+    std::unique_lock<std::mutex> g(mu_);
+    ++slots_[s].parks;
+    finish_step_locked(s, nullptr);
+    ++progress_epoch_;
+    forced_grants_ = 0;
+    slots_[s].state = SlotState::kDone;
+    ++done_;
+    if (cfg_.on_step && !setup_phase_) cfg_.on_step(s);
+    if (done_ == cfg_.nthreads && status_ == RunStatus::kRunning) {
+      status_ = RunStatus::kComplete;
+    }
+    pick_next_locked();
+  }
+  tls_slot() = TlsSlot{};
+}
+
+void VirtualScheduler::detach_aborted(Slot s) {
+  {
+    std::unique_lock<std::mutex> g(mu_);
+    slots_[s].state = SlotState::kDone;
+    ++done_;
+  }
+  tls_slot() = TlsSlot{};
+}
+
+void VirtualScheduler::annotated_point(Slot s, const StepAnnotation& ann) {
+  park(s, ParkKind::kPoint, &ann);
+}
+
+void VirtualScheduler::park_point(Slot s) { park(s, ParkKind::kPoint, nullptr); }
+
+void VirtualScheduler::park_wait(Slot s) { park(s, ParkKind::kWait, nullptr); }
+
+std::vector<Slot> VirtualScheduler::trace() const {
+  std::vector<Slot> t;
+  t.reserve(decisions_.size());
+  for (const Decision& d : decisions_) t.push_back(d.chosen);
+  return t;
+}
+
+void VirtualScheduler::park(Slot s, ParkKind kind, const StepAnnotation* ann) {
+  std::unique_lock<std::mutex> g(mu_);
+  ++slots_[s].parks;
+  finish_step_locked(s, kind == ParkKind::kPoint ? ann : nullptr);
+  if (kind == ParkKind::kPoint) {
+    ++progress_epoch_;
+    forced_grants_ = 0;
+    slots_[s].state = SlotState::kRunnable;
+  } else {
+    slots_[s].state = SlotState::kWaiting;
+    slots_[s].wait_epoch = progress_epoch_;
+  }
+  if (cfg_.on_step && !setup_phase_) cfg_.on_step(s);
+  pick_next_locked();
+  wait_for_grant(g, s);
+}
+
+void VirtualScheduler::finish_step_locked(Slot s, const StepAnnotation* ann) {
+  SlotData& sd = slots_[s];
+  if (sd.decision < 0) return;
+  Footprint fp;  // global unless the executor proved confinement
+  if (ann != nullptr && ann->confined) {
+    fp.global = false;
+    fp.obj = ann->obj;
+  }
+  decisions_[static_cast<std::size_t>(sd.decision)].footprint = fp;
+  sd.decision = -1;
+}
+
+void VirtualScheduler::try_setup_grant_locked() {
+  if (!setup_phase_ || setup_next_ >= cfg_.nthreads) return;
+  if (slots_[setup_next_].state == SlotState::kSetupParked) {
+    grant_locked(setup_next_);
+  }
+}
+
+void VirtualScheduler::pick_next_locked() {
+  if (stop_ || setup_phase_) return;
+
+  std::vector<Slot> eligible;
+  int waiting = 0;
+  for (Slot s = 0; s < cfg_.nthreads; ++s) {
+    const SlotData& sd = slots_[s];
+    if (sd.state == SlotState::kRunnable) {
+      eligible.push_back(s);
+    } else if (sd.state == SlotState::kWaiting) {
+      ++waiting;
+      if (sd.wait_epoch < progress_epoch_) eligible.push_back(s);
+    }
+  }
+
+  if (eligible.empty()) {
+    if (waiting == 0) return;  // all done (or one thread is running to exit)
+    // Every live thread is wait-parked with nothing new to observe: force
+    // deterministic round-robin re-checks. Waiters respond to coordination
+    // requests inside their re-checks, which is how chained waits unwind;
+    // if a bounded number of sweeps resolves nothing, it never will.
+    ++forced_grants_;
+    if (forced_grants_ >
+        static_cast<std::uint64_t>(cfg_.deadlock_rounds) *
+            static_cast<std::uint64_t>(waiting)) {
+      stop_locked(RunStatus::kDeadlock);
+      return;
+    }
+    for (int i = 0; i < cfg_.nthreads; ++i) {
+      const Slot s = (forced_rr_ + i) % cfg_.nthreads;
+      if (slots_[s].state == SlotState::kWaiting) {
+        forced_rr_ = s + 1;
+        eligible.push_back(s);
+        break;
+      }
+    }
+  }
+
+  if (++steps_ > cfg_.max_steps) {
+    stop_locked(RunStatus::kStepLimit);
+    return;
+  }
+  const std::optional<Slot> choice = strategy_.pick(eligible, decisions_);
+  if (!choice.has_value()) {
+    stop_locked(RunStatus::kPruned);
+    return;
+  }
+  HT_ASSERT(std::find(eligible.begin(), eligible.end(), *choice) !=
+                eligible.end(),
+            "strategy picked an ineligible slot");
+  decisions_.push_back(Decision{std::move(eligible), *choice, Footprint{}});
+  slots_[*choice].decision =
+      static_cast<std::int64_t>(decisions_.size()) - 1;
+  grant_locked(*choice);
+}
+
+void VirtualScheduler::grant_locked(Slot s) {
+  slots_[s].state = SlotState::kRunning;
+  cv_.notify_all();
+}
+
+void VirtualScheduler::stop_locked(RunStatus why) {
+  if (status_ == RunStatus::kRunning) status_ = why;
+  stop_ = true;
+  cv_.notify_all();
+}
+
+void VirtualScheduler::wait_for_grant(std::unique_lock<std::mutex>& g, Slot s) {
+  cv_.wait(g, [&] { return stop_ || slots_[s].state == SlotState::kRunning; });
+  if (stop_) throw ScheduleAborted{};
+}
+
+std::optional<Slot> FuzzStrategy::pick(const std::vector<Slot>& eligible,
+                                       const std::vector<Decision>& history) {
+  const Slot cur = history.empty() ? -1 : history.back().chosen;
+  const bool cur_eligible =
+      std::find(eligible.begin(), eligible.end(), cur) != eligible.end();
+  if (cur_eligible) {
+    if (eligible.size() == 1 || used_ >= bound_ || !rng_.chance(1, 4)) {
+      return cur;
+    }
+    // Preempt: uniform over the other eligible slots.
+    std::vector<Slot> others;
+    for (Slot s : eligible) {
+      if (s != cur) others.push_back(s);
+    }
+    ++used_;
+    return others[rng_.next_below(others.size())];
+  }
+  return eligible[rng_.next_below(eligible.size())];
+}
+
+std::optional<Slot> ReplayStrategy::pick(const std::vector<Slot>& eligible,
+                                         const std::vector<Decision>& history) {
+  const std::size_t i = history.size();
+  if (i < choices_.size()) {
+    const Slot want = choices_[i];
+    if (std::find(eligible.begin(), eligible.end(), want) == eligible.end()) {
+      diverged_ = true;
+      return std::nullopt;
+    }
+    return want;
+  }
+  return eligible.front();
+}
+
+}  // namespace ht::schedule

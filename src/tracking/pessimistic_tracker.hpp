@@ -124,7 +124,8 @@ class PessimisticTracker {
         }
       }
       runtime_->fault_point_slow_path(ctx);
-      backoff.pause();
+      schedule::wait_point();  // contended-lock spin is a wait point
+      if (!schedule::virtualized()) backoff.pause();
     }
   }
 

@@ -47,9 +47,7 @@ std::uint64_t sync_inc_body(Api& api, MicrobenchData& d, std::uint64_t iters,
     });
     api.unlock(d.lock);
     api.poll();
-    if (yield_every != 0 && (i + 1) % yield_every == 0) {
-      std::this_thread::yield();
-    }
+    schedule::cadence_point(i, yield_every);
   }
   return last;
 }
@@ -64,9 +62,7 @@ std::uint64_t racy_inc_body(Api& api, MicrobenchData& d, std::uint64_t iters,
       api.store(d.counter, last + 1);
     });
     api.poll();
-    if (yield_every != 0 && (i + 1) % yield_every == 0) {
-      std::this_thread::yield();
-    }
+    schedule::cadence_point(i, yield_every);
   }
   return last;
 }

@@ -28,6 +28,7 @@
 #include "common/cycle_timer.hpp"
 #include "common/xorshift.hpp"
 #include "runtime/sync.hpp"
+#include "schedule/schedule_point.hpp"
 #include "tracking/tracked_var.hpp"
 #include "tracking/transition_stats.hpp"
 
@@ -305,10 +306,7 @@ std::uint64_t workload_thread_body(Api& api, const WorkloadConfig& cfg,
       checksum = checksum * 0x100000001b3ULL + vals[i];
     }
     api.poll();
-    if (cfg.yield_every_regions != 0 &&
-        (r + 1) % cfg.yield_every_regions == 0) {
-      std::this_thread::yield();
-    }
+    schedule::cadence_point(r, cfg.yield_every_regions);
   }
   return checksum;
 }

@@ -1,0 +1,143 @@
+// Chaos programs under the DETERMINISTIC scheduler: the same randomized op
+// mixes the wall-clock chaos suite (test_chaos.cpp) runs nondeterministically
+// are rebuilt as schedule::Programs and fuzzed with fixed seeds, optionally
+// with fault injection armed. Unlike the wall-clock suite, a failure here is
+// a hard artifact: the assert prints the program seed plus the schedule trace,
+// and `tools/schedule_explore --replay` reproduces it bit-identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "faultinject/fault_injector.hpp"
+#include "schedule/explorer.hpp"
+#include "schedule/program.hpp"
+#include "schedule/virtual_scheduler.hpp"
+
+namespace ht::schedule {
+namespace {
+
+struct ChaosSchedCase {
+  std::uint64_t program_seed;
+  Family family;
+  int threads;
+  int objects;
+  int ops;
+  bool faults;
+};
+
+std::string case_name(const ::testing::TestParamInfo<ChaosSchedCase>& info) {
+  const ChaosSchedCase& c = info.param;
+  return std::string(family_name(c.family)) + "_s" +
+         std::to_string(c.program_seed) + (c.faults ? "_faulted" : "");
+}
+
+class ChaosSchedP : public ::testing::TestWithParam<ChaosSchedCase> {};
+
+// Seeded schedule fuzzing over a seeded chaos program: every explored
+// schedule must terminate, stay quiescent, and keep both transition oracles
+// silent. On failure the violation carries everything needed to reproduce:
+// the derived schedule seed and the full slot trace.
+TEST_P(ChaosSchedP, FuzzedChaosSchedulesStayClean) {
+  const ChaosSchedCase& c = GetParam();
+  const Program prog =
+      make_chaos_program(c.program_seed, c.threads, c.objects, c.ops);
+
+  Explorer ex(c.family, c.threads);
+  FaultConfig faults;
+  if (c.faults) {
+    faults.seed = c.program_seed;
+    faults.stall_polls = 8;  // keep stalls short: schedules are only ~30 steps
+    faults.enable(FaultSite::kPollSkip, 20'000)
+        .enable(FaultSite::kCoordStall, 5'000);
+    ex.run_config().faults = &faults;
+  }
+
+  ExploreOutcome out = ex.explore_fuzz(prog, /*seed=*/c.program_seed * 31 + 7,
+                                       /*schedules=*/60,
+                                       /*preemption_bound=*/3);
+  if (out.violation) {
+    ADD_FAILURE() << "chaos program seed " << c.program_seed << " ("
+                  << c.threads << "t/" << c.objects << "o/" << c.ops
+                  << " ops, " << family_name(c.family)
+                  << (c.faults ? ", faults" : "") << ")\n"
+                  << out.violation->to_string();
+  }
+  EXPECT_EQ(out.stats.schedules, 60u);
+  EXPECT_EQ(out.stats.deadlocks, 0u);
+  EXPECT_EQ(out.stats.truncated, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FixedSeeds, ChaosSchedP,
+    ::testing::Values(
+        ChaosSchedCase{11, Family::kHybrid, 3, 4, 10, false},
+        ChaosSchedCase{12, Family::kHybrid, 2, 3, 12, false},
+        ChaosSchedCase{13, Family::kHybrid, 3, 3, 8, true},
+        ChaosSchedCase{21, Family::kOptimistic, 3, 4, 10, false},
+        ChaosSchedCase{22, Family::kOptimistic, 2, 2, 12, true},
+        ChaosSchedCase{31, Family::kPessimistic, 3, 4, 10, false},
+        ChaosSchedCase{32, Family::kPessimistic, 2, 3, 12, true}),
+    case_name);
+
+// Same seed, same schedule, same everything: the whole point of the virtual
+// scheduler is that a chaos failure is reproducible. Two independent runs
+// under the same fuzz seed must take the same trace and hash to the same
+// execution digest — with and without fault injection in the loop.
+TEST(ChaosSchedDeterminism, SameSeedSameDigest) {
+  const Program prog = make_chaos_program(/*seed=*/77, /*nthreads=*/3,
+                                          /*objects=*/4, /*ops_per_thread=*/10);
+  for (bool with_faults : {false, true}) {
+    Explorer ex(Family::kHybrid, prog.nthreads());
+    FaultConfig faults;
+    if (with_faults) {
+      faults.stall_polls = 8;
+      faults.enable(FaultSite::kPollSkip, 20'000);
+      ex.run_config().faults = &faults;
+    }
+
+    FuzzStrategy first(/*seed=*/424242, /*preemption_bound=*/3);
+    const RunResult a = ex.run_once(prog, first);
+    FuzzStrategy second(/*seed=*/424242, /*preemption_bound=*/3);
+    const RunResult b = ex.run_once(prog, second);
+
+    ASSERT_TRUE(a.complete()) << run_status_name(a.status);
+    EXPECT_EQ(a.trace, b.trace) << "faults=" << with_faults;
+    EXPECT_EQ(a.digest, b.digest) << "faults=" << with_faults;
+    if (with_faults) {
+      EXPECT_EQ(a.faults_fired, b.faults_fired);
+    }
+
+    // And a trace-only replay (what the CLI's --replay mode does) lands on
+    // the identical digest — the trace alone pins the execution.
+    const RunResult r = ex.replay(prog, a.trace);
+    EXPECT_FALSE(r.replay_diverged) << "faults=" << with_faults;
+    EXPECT_EQ(r.digest, a.digest) << "faults=" << with_faults;
+  }
+}
+
+// A recorded trace pins the execution even across strategies: an exhaustive
+// DFS schedule replayed through ReplayStrategy reproduces its digest.
+TEST(ChaosSchedDeterminism, DfsScheduleReplaysBitIdentically) {
+  const Program* prog = find_builtin("deferred-unlock");
+  ASSERT_NE(prog, nullptr);
+
+  Explorer ex(Family::kHybrid, prog->nthreads());
+  RunResult sample;
+  ex.check_policy().extra = [&](const RunResult& r) -> std::string {
+    if (sample.trace.empty()) sample = r;  // keep the first full run
+    return "";
+  };
+  ExploreOutcome out = ex.explore_exhaustive(*prog, 4);
+  ASSERT_FALSE(out.violation.has_value()) << out.violation->to_string();
+  ASSERT_FALSE(sample.trace.empty());
+
+  const RunResult r = ex.replay(*prog, sample.trace);
+  EXPECT_FALSE(r.replay_diverged);
+  EXPECT_EQ(r.trace, sample.trace);
+  EXPECT_EQ(r.digest, sample.digest);
+  EXPECT_EQ(r.final_values, sample.final_values);
+}
+
+}  // namespace
+}  // namespace ht::schedule

@@ -1,0 +1,363 @@
+// schedule_explore: drives the deterministic virtual scheduler over small
+// tracker programs (src/schedule/). Four modes:
+//
+//   --mode exhaustive   enumerate every interleaving (sleep-set pruned DFS)
+//   --mode fuzz         seeded preemption-bounded schedule fuzzing
+//   --mode record       execute ONE schedule (from --seed) and write its
+//                       replayable trace file with --record FILE
+//   --mode replay       re-execute a recorded trace file bit-identically and
+//                       verify the execution digest matches the recording
+//
+// Programs are the named builtins (--list prints them) or chaos programs
+// generated from (--program chaos --program-seed S --threads N --objects K
+// --ops M) — both reconstructible from a trace file header, which is what
+// makes cross-process replay possible.
+//
+// Every explored schedule runs against the standard oracles (state-pair
+// model conformance, shadow-checker delta, final quiescence); a violation
+// prints the failing schedule's seed and trace (and records it with
+// --record) so it can be replayed exactly.
+//
+// Exit codes: 0 OK, 1 usage, 2 oracle violation found, 3 replay divergence
+// or digest mismatch, 4 file I/O error.
+//
+// Examples:
+//   schedule_explore --mode exhaustive --tracker hybrid --program ww-conflict
+//   schedule_explore --mode fuzz --tracker hybrid --program chaos
+//       --program-seed 7 --threads 3 --objects 4 --ops 12 --schedules 500
+//   schedule_explore --mode record --program deferred-unlock --seed 42
+//       --record t.trace
+//   schedule_explore --mode replay --replay t.trace
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "schedule/explorer.hpp"
+#include "schedule/program.hpp"
+#include "schedule/virtual_scheduler.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitViolation = 2;
+constexpr int kExitReplayMismatch = 3;
+constexpr int kExitIo = 4;
+
+using ht::schedule::Explorer;
+using ht::schedule::Family;
+using ht::schedule::Program;
+using ht::schedule::RunResult;
+using ht::schedule::Slot;
+
+struct Options {
+  std::string mode = "exhaustive";
+  std::string tracker = "hybrid";
+  std::string program = "ww-conflict";
+  std::uint64_t program_seed = 1;
+  int threads = 2;
+  int objects = 2;
+  int ops = 6;
+  std::uint64_t schedules = 100000;
+  std::uint64_t seed = 1;
+  int preemptions = 3;
+  std::uint64_t max_steps = 4096;
+  std::string replay_path;
+  std::string record_path;
+};
+
+// The recorded-schedule file: a line-oriented header naming everything
+// needed to rebuild the identical program and tracker in another process,
+// the expected execution digest, and the schedule's decision sequence.
+struct TraceFile {
+  std::string tracker;
+  std::string program;
+  std::uint64_t program_seed = 0;
+  int threads = 0;
+  int objects = 0;
+  int ops = 0;
+  std::uint64_t digest = 0;
+  std::vector<Slot> trace;
+};
+
+bool write_trace_file(const std::string& path, const TraceFile& t) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "ht-schedule-trace v1\n";
+  out << "tracker " << t.tracker << "\n";
+  out << "program " << t.program << "\n";
+  out << "program-seed " << t.program_seed << "\n";
+  out << "threads " << t.threads << "\n";
+  out << "objects " << t.objects << "\n";
+  out << "ops " << t.ops << "\n";
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016" PRIx64, t.digest);
+  out << "digest " << hex << "\n";
+  out << "trace " << ht::schedule::trace_to_string(t.trace) << "\n";
+  return static_cast<bool>(out);
+}
+
+bool read_trace_file(const std::string& path, TraceFile& t,
+                     std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "ht-schedule-trace v1") {
+    err = "bad magic (want 'ht-schedule-trace v1')";
+    return false;
+  }
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    if (key == "tracker") {
+      ls >> t.tracker;
+    } else if (key == "program") {
+      ls >> t.program;
+    } else if (key == "program-seed") {
+      ls >> t.program_seed;
+    } else if (key == "threads") {
+      ls >> t.threads;
+    } else if (key == "objects") {
+      ls >> t.objects;
+    } else if (key == "ops") {
+      ls >> t.ops;
+    } else if (key == "digest") {
+      std::string hex;
+      ls >> hex;
+      t.digest = std::strtoull(hex.c_str(), nullptr, 16);
+    } else if (key == "trace") {
+      Slot s;
+      while (ls >> s) t.trace.push_back(s);
+    } else {
+      err = "unknown key '" + key + "'";
+      return false;
+    }
+  }
+  if (t.tracker.empty() || t.program.empty()) {
+    err = "incomplete header";
+    return false;
+  }
+  return true;
+}
+
+bool resolve_program(const std::string& name, std::uint64_t program_seed,
+                     int threads, int objects, int ops, Program& out,
+                     std::string& err) {
+  if (name == "chaos") {
+    out = ht::schedule::make_chaos_program(program_seed, threads, objects,
+                                           ops);
+    return true;
+  }
+  const Program* p = ht::schedule::find_builtin(name);
+  if (p == nullptr) {
+    err = "unknown program '" + name + "' (--list prints the builtins)";
+    return false;
+  }
+  out = *p;
+  return true;
+}
+
+void list_programs() {
+  std::printf("builtin programs:\n");
+  for (const ht::schedule::NamedProgram& np :
+       ht::schedule::builtin_programs()) {
+    std::printf("  %-16s %d thread(s), %d object(s) — %s\n", np.name.c_str(),
+                np.program.nthreads(), np.program.objects, np.note);
+  }
+  std::printf(
+      "  %-16s generated from --program-seed/--threads/--objects/--ops\n",
+      "chaos");
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: schedule_explore [--mode exhaustive|fuzz|record|replay]\n"
+      "  [--tracker hybrid|optimistic|pessimistic] [--program NAME|chaos]\n"
+      "  [--program-seed S] [--threads N] [--objects K] [--ops M]\n"
+      "  [--schedules N] [--seed S] [--preemptions P] [--max-steps N]\n"
+      "  [--record FILE] [--replay FILE] [--list]\n");
+  return kExitUsage;
+}
+
+void print_run(const RunResult& r) {
+  std::printf("status:  %s\n", ht::schedule::run_status_name(r.status));
+  std::printf("steps:   %" PRIu64 "\n", r.steps);
+  std::printf("digest:  %016" PRIx64 "\n", r.digest);
+  std::printf("trace:   %s\n",
+              ht::schedule::trace_to_string(r.trace).c_str());
+  for (std::size_t o = 0; o < r.final_states.size(); ++o) {
+    std::printf("obj %zu:   %s = %" PRIu64 "\n", o,
+                r.final_states[o].to_string().c_str(), r.final_values[o]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&](std::string& dst) {
+      if (i + 1 >= argc) return false;
+      dst = argv[++i];
+      return true;
+    };
+    std::string v;
+    if (a == "--list") {
+      list_programs();
+      return kExitOk;
+    } else if (a == "--mode" && next(v)) {
+      opt.mode = v;
+    } else if (a == "--tracker" && next(v)) {
+      opt.tracker = v;
+    } else if (a == "--program" && next(v)) {
+      opt.program = v;
+    } else if (a == "--program-seed" && next(v)) {
+      opt.program_seed = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (a == "--threads" && next(v)) {
+      opt.threads = std::atoi(v.c_str());
+    } else if (a == "--objects" && next(v)) {
+      opt.objects = std::atoi(v.c_str());
+    } else if (a == "--ops" && next(v)) {
+      opt.ops = std::atoi(v.c_str());
+    } else if (a == "--schedules" && next(v)) {
+      opt.schedules = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (a == "--seed" && next(v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (a == "--preemptions" && next(v)) {
+      opt.preemptions = std::atoi(v.c_str());
+    } else if (a == "--max-steps" && next(v)) {
+      opt.max_steps = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (a == "--record" && next(v)) {
+      opt.record_path = v;
+    } else if (a == "--replay" && next(v)) {
+      opt.replay_path = v;
+    } else {
+      return usage();
+    }
+  }
+
+  // Replay mode: everything (tracker, program, schedule) comes from the file.
+  if (opt.mode == "replay") {
+    if (opt.replay_path.empty()) {
+      std::fprintf(stderr, "schedule_explore: --mode replay needs --replay "
+                           "FILE\n");
+      return kExitUsage;
+    }
+    TraceFile t;
+    std::string err;
+    if (!read_trace_file(opt.replay_path, t, err)) {
+      std::fprintf(stderr, "schedule_explore: %s: %s\n",
+                   opt.replay_path.c_str(), err.c_str());
+      return kExitIo;
+    }
+    opt.tracker = t.tracker;
+    opt.program = t.program;
+    opt.program_seed = t.program_seed;
+    opt.threads = t.threads;
+    opt.objects = t.objects;
+    opt.ops = t.ops;
+
+    const auto family = ht::schedule::family_from_name(opt.tracker);
+    if (!family) return usage();
+    Program prog;
+    if (!resolve_program(opt.program, opt.program_seed, opt.threads,
+                         opt.objects, opt.ops, prog, err)) {
+      std::fprintf(stderr, "schedule_explore: %s\n", err.c_str());
+      return kExitUsage;
+    }
+    Explorer ex(*family, prog.nthreads());
+    ex.run_config().max_steps = opt.max_steps;
+    const RunResult r = ex.replay(prog, t.trace);
+    print_run(r);
+    if (r.replay_diverged) {
+      std::printf("replay:  DIVERGED (recorded choice became ineligible)\n");
+      return kExitReplayMismatch;
+    }
+    if (r.digest != t.digest) {
+      std::printf("replay:  DIGEST MISMATCH (recorded %016" PRIx64 ")\n",
+                  t.digest);
+      return kExitReplayMismatch;
+    }
+    std::printf("replay:  OK (digest matches recording)\n");
+    return kExitOk;
+  }
+
+  const auto family = ht::schedule::family_from_name(opt.tracker);
+  if (!family) return usage();
+  Program prog;
+  std::string err;
+  if (!resolve_program(opt.program, opt.program_seed, opt.threads,
+                       opt.objects, opt.ops, prog, err)) {
+    std::fprintf(stderr, "schedule_explore: %s\n", err.c_str());
+    return kExitUsage;
+  }
+
+  Explorer ex(*family, prog.nthreads());
+  ex.run_config().max_steps = opt.max_steps;
+
+  const auto record = [&](std::uint64_t digest,
+                          const std::vector<Slot>& trace) {
+    if (opt.record_path.empty()) return true;
+    TraceFile t;
+    t.tracker = ht::schedule::family_name(*family);
+    t.program = opt.program;
+    t.program_seed = opt.program_seed;
+    t.threads = prog.nthreads();
+    t.objects = prog.objects;
+    t.ops = opt.ops;
+    t.digest = digest;
+    t.trace = trace;
+    if (!write_trace_file(opt.record_path, t)) {
+      std::fprintf(stderr, "schedule_explore: cannot write %s\n",
+                   opt.record_path.c_str());
+      return false;
+    }
+    std::printf("recorded: %s\n", opt.record_path.c_str());
+    return true;
+  };
+
+  if (opt.mode == "record") {
+    ht::schedule::FuzzStrategy strat(opt.seed, opt.preemptions);
+    const RunResult r = ex.run_once(prog, strat);
+    print_run(r);
+    if (!record(r.digest, r.trace)) return kExitIo;
+    return r.complete() ? kExitOk : kExitViolation;
+  }
+
+  if (opt.mode == "exhaustive" || opt.mode == "fuzz") {
+    const ht::schedule::ExploreOutcome out =
+        opt.mode == "exhaustive"
+            ? ex.explore_exhaustive(prog, opt.schedules)
+            : ex.explore_fuzz(prog, opt.seed, opt.schedules, opt.preemptions);
+    std::printf("mode:      %s (%s tracker, program %s)\n", opt.mode.c_str(),
+                ht::schedule::family_name(*family), opt.program.c_str());
+    std::printf("schedules: %" PRIu64 " (%" PRIu64 " pruned, %" PRIu64
+                " deadlocked, %" PRIu64 " truncated)\n",
+                out.stats.schedules, out.stats.pruned, out.stats.deadlocks,
+                out.stats.truncated);
+    if (opt.mode == "exhaustive") {
+      std::printf("coverage:  %s\n", out.stats.complete
+                                         ? "complete (tree exhausted)"
+                                         : "budget exhausted first");
+    }
+    if (out.violation) {
+      std::printf("VIOLATION: %s\n", out.violation->to_string().c_str());
+      if (!record(0, out.violation->trace)) return kExitIo;
+      return kExitViolation;
+    }
+    std::printf("result:    all schedules passed the oracles\n");
+    return kExitOk;
+  }
+
+  return usage();
+}
