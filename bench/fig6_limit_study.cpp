@@ -9,6 +9,7 @@
 // spread across many objects.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "tracking/optimistic_tracker.hpp"
@@ -18,10 +19,19 @@
 
 using namespace ht;
 
-int main() {
+int main(int argc, char** argv) {
   const double scale = scale_from_env();
+  const std::string json_path = json_path_from_args(argc, argv);
   const std::vector<std::uint64_t> xs = {1, 2, 4, 8, 16, 32, 64, 128, 256,
                                          512, 1024};
+
+  BenchJsonReport report("fig6_limit_study");
+  report.set_meta("scale", json::Value(scale));
+  {
+    json::Array cutoffs;
+    for (auto x : xs) cutoffs.emplace_back(x);
+    report.set_meta("cutoffs", json::Value(std::move(cutoffs)));
+  }
 
   std::printf("== Fig 6: cumulative conflicting transitions per object "
               "(optimistic tracking, explicit only) ==\n");
@@ -49,21 +59,31 @@ int main() {
     if (total_conflicts / total_accesses < 1e-6) {
       std::printf("%-12s (conflict rate < 0.0001%%, excluded as in Fig 6)\n",
                   cfg.name);
+      report.add_value(cfg.name, "optimistic", "excluded", json::Value(true));
       continue;
     }
 
+    json::Array coverage;
     std::printf("%-12s", cfg.name);
     for (const std::uint64_t x : xs) {
       std::uint64_t covered = 0;
       for (const std::uint32_t c : counts) {
         covered += std::min<std::uint64_t>(c, x);
       }
-      std::printf(" %9.5f%%", 100.0 * static_cast<double>(covered) /
-                                  total_accesses);
+      const double pct =
+          100.0 * static_cast<double>(covered) / total_accesses;
+      coverage.emplace_back(pct);
+      std::printf(" %9.5f%%", pct);
     }
-    std::printf(" %9.5f%%\n",
-                100.0 * static_cast<double>(total_conflicts) / total_accesses);
+    const double max_y =
+        100.0 * static_cast<double>(total_conflicts) / total_accesses;
+    std::printf(" %9.5f%%\n", max_y);
+    report.add_value(cfg.name, "optimistic", "coverage_pct",
+                     json::Value(std::move(coverage)));
+    report.add_value(cfg.name, "optimistic", "max_y_pct", json::Value(max_y));
+    report.add_value(cfg.name, "optimistic", "excluded", json::Value(false));
   }
+  if (!json_path.empty() && !report.write(json_path)) return 5;
   std::printf("\nreading: if y at x=4 is well below max-y for high-conflict "
               "programs, Cutoff_confl=4 catches\nmost conflicts — the basis "
               "for §7.3's parameter choice.\n");

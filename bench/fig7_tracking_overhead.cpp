@@ -11,6 +11,7 @@
 //     high-conflict profiles and roughly ties optimistic elsewhere;
 //   * geomean: hybrid < optimistic < pessimistic.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "tracking/hybrid_tracker.hpp"
@@ -27,15 +28,20 @@ using namespace ht;
 namespace {
 
 template <typename MakeTrackerAndRun>
-RunStats measure(int trials, MakeTrackerAndRun&& once) {
-  return run_trials(trials, once);
+TrialSeries measure(int trials, MakeTrackerAndRun&& once) {
+  return run_trial_series(trials, once);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int trials = trials_from_env(3);
   const double scale = scale_from_env();
+  const std::string json_path = json_path_from_args(argc, argv);
+
+  BenchJsonReport report("fig7_tracking_overhead");
+  report.set_meta("trials", json::Value(trials));
+  report.set_meta("scale", json::Value(scale));
 
   std::printf("== Fig 7: run-time overhead of tracking alone (median of %d "
               "trials, ±95%% CI) ==\n\n", trials);
@@ -48,62 +54,65 @@ int main() {
   for (const WorkloadConfig& cfg : paper_profiles(scale)) {
     WorkloadData data(cfg);
 
-    const RunStats base = measure(trials, [&] {
+    const TrialSeries base = measure(trials, [&] {
       Runtime rt;
       NullTracker trk(rt);
       return run_workload(cfg, data, [&](ThreadId) {
         return DirectApi<NullTracker>(rt, trk);
       });
     });
+    report.add_series(cfg.name, "base", base);
 
     std::vector<Overhead> row;
+    const auto add = [&](const char* name, const TrialSeries& s) {
+      report.add_series(cfg.name, name, s);
+      const Overhead o = overhead_vs(base.seconds, s.seconds);
+      report.add_value(cfg.name, name, "overhead_median_pct",
+                       json::Value(o.median_pct));
+      row.push_back(o);
+    };
 
-    const RunStats pess = measure(trials, [&] {
-      Runtime rt;
-      PessimisticTracker<> trk(rt);
-      return run_workload(cfg, data, [&](ThreadId) {
-        return DirectApi<PessimisticTracker<>>(rt, trk);
-      });
-    });
-    row.push_back(overhead_vs(base, pess));
+    add("pessimistic", measure(trials, [&] {
+          Runtime rt;
+          PessimisticTracker<> trk(rt);
+          return run_workload(cfg, data, [&](ThreadId) {
+            return DirectApi<PessimisticTracker<>>(rt, trk);
+          });
+        }));
 
-    const RunStats opt = measure(trials, [&] {
-      Runtime rt;
-      OptimisticTracker<> trk(rt);
-      return run_workload(cfg, data, [&](ThreadId) {
-        return DirectApi<OptimisticTracker<>>(rt, trk);
-      });
-    });
-    row.push_back(overhead_vs(base, opt));
+    add("optimistic", measure(trials, [&] {
+          Runtime rt;
+          OptimisticTracker<> trk(rt);
+          return run_workload(cfg, data, [&](ThreadId) {
+            return DirectApi<OptimisticTracker<>>(rt, trk);
+          });
+        }));
 
-    const RunStats hyb_inf = measure(trials, [&] {
-      Runtime rt;
-      HybridConfig hc;
-      hc.policy = PolicyConfig::infinite();
-      HybridTracker<> trk(rt, hc);
-      return run_workload(cfg, data, [&](ThreadId) {
-        return DirectApi<HybridTracker<>>(rt, trk);
-      });
-    });
-    row.push_back(overhead_vs(base, hyb_inf));
+    add("hybrid_inf", measure(trials, [&] {
+          Runtime rt;
+          HybridConfig hc;
+          hc.policy = PolicyConfig::infinite();
+          HybridTracker<> trk(rt, hc);
+          return run_workload(cfg, data, [&](ThreadId) {
+            return DirectApi<HybridTracker<>>(rt, trk);
+          });
+        }));
 
-    const RunStats hyb = measure(trials, [&] {
-      Runtime rt;
-      HybridTracker<> trk(rt, HybridConfig{});
-      return run_workload(cfg, data, [&](ThreadId) {
-        return DirectApi<HybridTracker<>>(rt, trk);
-      });
-    });
-    row.push_back(overhead_vs(base, hyb));
+    add("hybrid", measure(trials, [&] {
+          Runtime rt;
+          HybridTracker<> trk(rt, HybridConfig{});
+          return run_workload(cfg, data, [&](ThreadId) {
+            return DirectApi<HybridTracker<>>(rt, trk);
+          });
+        }));
 
-    const RunStats ideal = measure(trials, [&] {
-      Runtime rt;
-      IdealTracker<> trk(rt);
-      return run_workload(cfg, data, [&](ThreadId) {
-        return DirectApi<IdealTracker<>>(rt, trk);
-      });
-    });
-    row.push_back(overhead_vs(base, ideal));
+    add("ideal", measure(trials, [&] {
+          Runtime rt;
+          IdealTracker<> trk(rt);
+          return run_workload(cfg, data, [&](ThreadId) {
+            return DirectApi<IdealTracker<>>(rt, trk);
+          });
+        }));
 
     print_overhead_row(cfg.name, row);
     for (std::size_t i = 0; i < row.size(); ++i) {
@@ -112,6 +121,7 @@ int main() {
   }
 
   print_geomean_row(medians);
+  if (!json_path.empty() && !report.write(json_path)) return 5;
   std::printf("\npaper geomeans: pessimistic 340%%, optimistic 28%%, hybrid "
               "w/inf 30%%, hybrid 22%%, ideal 14%%\n");
   std::printf("(absolute values differ on this 1-core container — compare "

@@ -10,6 +10,7 @@
 //   keeps triggering contended coordination. The §7.5 escape extension
 //   (ablation_contended_escape) addresses exactly this.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "tracking/hybrid_tracker.hpp"
@@ -27,9 +28,9 @@ namespace {
 constexpr int kThreads = 8;  // as in the paper
 
 template <typename Body>
-void bench_one(const char* name, std::uint64_t iters, int trials,
-               Body&& body) {
-  const RunStats base = run_trials(trials, [&] {
+void bench_one(const char* name, std::uint64_t iters, int trials, Body&& body,
+               BenchJsonReport& report) {
+  const TrialSeries base = run_trial_series(trials, [&] {
     MicrobenchData data;
     Runtime rt;
     NullTracker trk(rt);
@@ -38,66 +39,84 @@ void bench_one(const char* name, std::uint64_t iters, int trials,
         [&](ThreadId) { return DirectApi<NullTracker>(rt, trk); },
         [&](auto& api, ThreadId) { return body(api, data, iters); });
   });
+  report.add_series(name, "base", base);
 
   std::vector<Overhead> row;
+  const auto add = [&](const char* config, const TrialSeries& s) {
+    report.add_series(name, config, s);
+    const Overhead o = overhead_vs(base.seconds, s.seconds);
+    report.add_value(name, config, "overhead_median_pct",
+                     json::Value(o.median_pct));
+    row.push_back(o);
+  };
 
-  row.push_back(overhead_vs(base, run_trials(trials, [&] {
-    MicrobenchData data;
-    Runtime rt;
-    PessimisticTracker<> trk(rt);
-    return run_microbench(
-        kThreads, data,
-        [&](ThreadId) { return DirectApi<PessimisticTracker<>>(rt, trk); },
-        [&](auto& api, ThreadId) { return body(api, data, iters); });
-  })));
+  add("pessimistic", run_trial_series(trials, [&] {
+        MicrobenchData data;
+        Runtime rt;
+        PessimisticTracker<> trk(rt);
+        return run_microbench(
+            kThreads, data,
+            [&](ThreadId) { return DirectApi<PessimisticTracker<>>(rt, trk); },
+            [&](auto& api, ThreadId) { return body(api, data, iters); });
+      }));
 
-  row.push_back(overhead_vs(base, run_trials(trials, [&] {
-    MicrobenchData data;
-    Runtime rt;
-    OptimisticTracker<> trk(rt);
-    return run_microbench(
-        kThreads, data,
-        [&](ThreadId) { return DirectApi<OptimisticTracker<>>(rt, trk); },
-        [&](auto& api, ThreadId) { return body(api, data, iters); });
-  })));
+  add("optimistic", run_trial_series(trials, [&] {
+        MicrobenchData data;
+        Runtime rt;
+        OptimisticTracker<> trk(rt);
+        return run_microbench(
+            kThreads, data,
+            [&](ThreadId) { return DirectApi<OptimisticTracker<>>(rt, trk); },
+            [&](auto& api, ThreadId) { return body(api, data, iters); });
+      }));
 
-  row.push_back(overhead_vs(base, run_trials(trials, [&] {
-    MicrobenchData data;
-    Runtime rt;
-    HybridTracker<> trk(rt, HybridConfig{});
-    return run_microbench(
-        kThreads, data,
-        [&](ThreadId) { return DirectApi<HybridTracker<>>(rt, trk); },
-        [&](auto& api, ThreadId) { return body(api, data, iters); });
-  })));
+  add("hybrid", run_trial_series(trials, [&] {
+        MicrobenchData data;
+        Runtime rt;
+        HybridTracker<> trk(rt, HybridConfig{});
+        return run_microbench(
+            kThreads, data,
+            [&](ThreadId) { return DirectApi<HybridTracker<>>(rt, trk); },
+            [&](auto& api, ThreadId) { return body(api, data, iters); });
+      }));
 
   print_overhead_row(name, row);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int trials = trials_from_env(3);
   const double scale = scale_from_env();
   const auto iters = static_cast<std::uint64_t>(4'000 * scale);
+  const std::string json_path = json_path_from_args(argc, argv);
+
+  BenchJsonReport report("fig8_microbench");
+  report.set_meta("trials", json::Value(trials));
+  report.set_meta("scale", json::Value(scale));
+  report.set_meta("threads", json::Value(kThreads));
+  report.set_meta("iters", json::Value(iters));
 
   std::printf("== Fig 8: microbenchmark overhead, %d threads x %llu "
               "increments (median of %d trials) ==\n\n",
               kThreads, static_cast<unsigned long long>(iters), trials);
   print_overhead_header({"Pessimistic", "Optimistic", "Hybrid"});
 
-  bench_one("syncInc", iters, trials, [](auto& api, MicrobenchData& d,
-                                         std::uint64_t n) {
-    return sync_inc_body(api, d, n);
-  });
-  bench_one("racyInc", iters, trials, [](auto& api, MicrobenchData& d,
-                                         std::uint64_t n) {
-    return racy_inc_body(api, d, n);
-  });
+  bench_one("syncInc", iters, trials,
+            [](auto& api, MicrobenchData& d, std::uint64_t n) {
+              return sync_inc_body(api, d, n);
+            },
+            report);
+  bench_one("racyInc", iters, trials,
+            [](auto& api, MicrobenchData& d, std::uint64_t n) {
+              return racy_inc_body(api, d, n);
+            },
+            report);
 
   std::printf("\npaper: syncInc pess ~1200%%, opt ~1200%%, hybrid 84%%;"
               "  racyInc pess ~1200%%, opt ~1200%%, hybrid 4300%%\n");
   std::printf("shape to check: hybrid wins big on syncInc, loses on racyInc "
               "(true races force contended coordination)\n");
+  if (!json_path.empty() && !report.write(json_path)) return 5;
   return 0;
 }

@@ -13,6 +13,7 @@
 //   * the hybrid replayer is slightly slower than the optimistic replayer
 //     (release-counter maintenance; dependences cannot be reduced).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "recorder/recorder.hpp"
@@ -28,11 +29,19 @@ using namespace ht;
 
 namespace {
 
+void add_result(TrialSeries& series, const WorkloadRunResult& r) {
+  series.seconds.add(r.seconds);
+  series.cycles.add(static_cast<double>(r.cycles));
+  series.join_skew.add(r.join_skew_seconds);
+}
+
 // One record trial + one replay trial for the given tracker family; returns
-// {record stats, replay stats} pair appended into the RunStats accumulators.
+// {record stats, replay stats} pair appended into the trial-series
+// accumulators.
 template <template <bool, typename> class TrackerT>
 void record_and_replay_once(const WorkloadConfig& cfg, WorkloadData& data,
-                            RunStats& record_stats, RunStats& replay_stats) {
+                            TrialSeries& record_stats,
+                            TrialSeries& replay_stats) {
   Runtime rt;
   DependenceRecorder recorder(rt);
   using Tracker = TrackerT<false, DependenceRecorder>;
@@ -48,21 +57,26 @@ void record_and_replay_once(const WorkloadConfig& cfg, WorkloadData& data,
   const WorkloadRunResult rec = run_workload(cfg, data, [&](ThreadId) {
     return DirectApi<Tracker>(rt, tracker, &recorder);
   });
-  record_stats.add(rec.seconds);
+  add_result(record_stats, rec);
 
   const Recording recording =
       recorder.take_recording(static_cast<ThreadId>(cfg.threads));
   Replayer replayer(recording);
   const WorkloadRunResult rep = run_workload(
       cfg, data, [&](ThreadId) { return ReplayApi(replayer); });
-  replay_stats.add(rep.seconds);
+  add_result(replay_stats, rep);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int trials = trials_from_env(3);
   const double scale = scale_from_env();
+  const std::string json_path = json_path_from_args(argc, argv);
+
+  BenchJsonReport report("fig9a_recorder");
+  report.set_meta("trials", json::Value(trials));
+  report.set_meta("scale", json::Value(scale));
 
   std::printf("== Fig 9(a): dependence recorder & replayer overhead (median "
               "of %d trials) ==\n\n", trials);
@@ -74,23 +88,30 @@ int main() {
   for (const WorkloadConfig& cfg : recorder_profiles(scale)) {
     WorkloadData data(cfg);
 
-    const RunStats base = run_trials(trials, [&] {
+    const TrialSeries base = run_trial_series(trials, [&] {
       Runtime rt;
       NullTracker trk(rt);
       return run_workload(cfg, data, [&](ThreadId) {
         return DirectApi<NullTracker>(rt, trk);
       });
     });
+    report.add_series(cfg.name, "base", base);
 
-    RunStats opt_rec, opt_rep, hyb_rec, hyb_rep;
+    TrialSeries opt_rec, opt_rep, hyb_rec, hyb_rep;
     for (int i = 0; i < trials; ++i) {
       record_and_replay_once<OptimisticTracker>(cfg, data, opt_rec, opt_rep);
       record_and_replay_once<HybridTracker>(cfg, data, hyb_rec, hyb_rep);
     }
+    report.add_series(cfg.name, "opt_recorder", opt_rec);
+    report.add_series(cfg.name, "opt_replayer", opt_rep);
+    report.add_series(cfg.name, "hybrid_recorder", hyb_rec);
+    report.add_series(cfg.name, "hybrid_replayer", hyb_rep);
 
     const std::vector<Overhead> row = {
-        overhead_vs(base, opt_rec), overhead_vs(base, opt_rep),
-        overhead_vs(base, hyb_rec), overhead_vs(base, hyb_rep)};
+        overhead_vs(base.seconds, opt_rec.seconds),
+        overhead_vs(base.seconds, opt_rep.seconds),
+        overhead_vs(base.seconds, hyb_rec.seconds),
+        overhead_vs(base.seconds, hyb_rep.seconds)};
     print_overhead_row(cfg.name, row);
     for (std::size_t i = 0; i < row.size(); ++i) {
       medians[i].push_back(row[i].median_pct);
@@ -98,6 +119,7 @@ int main() {
   }
 
   print_geomean_row(medians);
+  if (!json_path.empty() && !report.write(json_path)) return 5;
   std::printf("\npaper geomeans: opt recorder 46%%, opt replayer 20%%, hybrid "
               "recorder 41%%, hybrid replayer 24%%\n");
   return 0;

@@ -7,6 +7,7 @@
 // the tracking-alone comparison, since the enforcer uses the trackers in
 // essentially the same way.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "enforcer/rs_enforcer.hpp"
@@ -19,9 +20,14 @@
 
 using namespace ht;
 
-int main() {
+int main(int argc, char** argv) {
   const int trials = trials_from_env(3);
   const double scale = scale_from_env();
+  const std::string json_path = json_path_from_args(argc, argv);
+
+  BenchJsonReport report("fig9b_enforcer");
+  report.set_meta("trials", json::Value(trials));
+  report.set_meta("scale", json::Value(scale));
 
   std::printf("== Fig 9(b): region-serializability enforcer overhead (median "
               "of %d trials) ==\n\n", trials);
@@ -32,15 +38,16 @@ int main() {
   for (const WorkloadConfig& cfg : paper_profiles(scale)) {
     WorkloadData data(cfg);
 
-    const RunStats base = run_trials(trials, [&] {
+    const TrialSeries base = run_trial_series(trials, [&] {
       Runtime rt;
       NullTracker trk(rt);
       return run_workload(cfg, data, [&](ThreadId) {
         return DirectApi<NullTracker>(rt, trk);
       });
     });
+    report.add_series(cfg.name, "base", base);
 
-    const RunStats opt = run_trials(trials, [&] {
+    const TrialSeries opt = run_trial_series(trials, [&] {
       Runtime rt;
       OptimisticTracker<> trk(rt);
       RsEnforcer<OptimisticTracker<>> enf(rt, trk);
@@ -48,8 +55,9 @@ int main() {
         return EnforcerApi<OptimisticTracker<>>(rt, enf);
       });
     });
+    report.add_series(cfg.name, "opt_enforcer", opt);
 
-    const RunStats hyb = run_trials(trials, [&] {
+    const TrialSeries hyb = run_trial_series(trials, [&] {
       Runtime rt;
       HybridTracker<> trk(rt, HybridConfig{});
       RsEnforcer<HybridTracker<>> enf(rt, trk);
@@ -57,15 +65,17 @@ int main() {
         return EnforcerApi<HybridTracker<>>(rt, enf);
       });
     });
+    report.add_series(cfg.name, "hybrid_enforcer", hyb);
 
-    const std::vector<Overhead> row = {overhead_vs(base, opt),
-                                       overhead_vs(base, hyb)};
+    const std::vector<Overhead> row = {overhead_vs(base.seconds, opt.seconds),
+                                       overhead_vs(base.seconds, hyb.seconds)};
     print_overhead_row(cfg.name, row);
     medians[0].push_back(row[0].median_pct);
     medians[1].push_back(row[1].median_pct);
   }
 
   print_geomean_row(medians);
+  if (!json_path.empty() && !report.write(json_path)) return 5;
   std::printf("\npaper geomeans: optimistic enforcer 39%%, hybrid enforcer "
               "34%%\n");
   return 0;

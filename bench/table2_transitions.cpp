@@ -9,6 +9,7 @@
 // (avrora9, pjbb2005) retain contended transitions; low-conflict profiles
 // are essentially untouched.
 #include <cstdio>
+#include <string>
 
 #include "tracking/hybrid_tracker.hpp"
 #include "tracking/optimistic_tracker.hpp"
@@ -18,8 +19,13 @@
 
 using namespace ht;
 
-int main() {
+int main(int argc, char** argv) {
   const double scale = scale_from_env();
+  const std::string json_path = json_path_from_args(argc, argv);
+
+  BenchJsonReport report("table2_transitions");
+  report.set_meta("scale", json::Value(scale));
+
   std::printf("== Table 2: state transitions, hybrid tracking "
               "(optimistic-alone in parentheses) ==\n\n");
   std::printf("%-12s %12s %22s %10s %6s %10s %9s %9s\n", "workload",
@@ -47,6 +53,9 @@ int main() {
             }).stats;
     }
 
+    report.add_stats(cfg.name, "optimistic", opt);
+    report.add_stats(cfg.name, "hybrid", hyb);
+
     char confl_cell[40];
     std::snprintf(confl_cell, sizeof confl_cell, "(%s) %s",
                   format_sci(static_cast<double>(opt.opt_conflicting())).c_str(),
@@ -62,5 +71,6 @@ int main() {
   }
   std::printf("\n(run with HT_SCALE>1 for counts closer to the paper's "
               "1e9-1e10 access range)\n");
+  if (!json_path.empty() && !report.write(json_path)) return 5;
   return 0;
 }

@@ -1,0 +1,332 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ht::json {
+
+namespace {
+
+const Value kNullValue{};
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " at offset %zu", pos);
+    error = msg + buf;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') return parse_string_value(out);
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+    return fail("unexpected character");
+  }
+
+  bool parse_object(Value& out, int depth) {
+    ++pos;  // '{'
+    Object obj;
+    skip_ws();
+    if (consume('}')) {
+      out = Value(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"') return fail("expected key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      obj.emplace(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    out = Value(std::move(obj));
+    return true;
+  }
+
+  bool parse_array(Value& out, int depth) {
+    ++pos;  // '['
+    Array arr;
+    skip_ws();
+    if (consume(']')) {
+      out = Value(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    out = Value(std::move(arr));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos;  // '"'
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("short \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by any of our writers; decode them permissively as
+            // two separate units).
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_string_value(Value& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = Value(std::move(s));
+    return true;
+  }
+
+  bool parse_bool(Value& out) {
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      out = Value(true);
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      out = Value(false);
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(Value& out) {
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      out = Value();
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos == start) return fail("bad number");
+    const std::string tok = text.substr(start, pos - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      return fail("bad number");
+    }
+    out = Value(v);
+    return true;
+  }
+};
+
+}  // namespace
+
+const Value& Value::at(const std::string& key) const {
+  if (type_ == Type::kObject) {
+    auto it = obj_.find(key);
+    if (it != obj_.end()) return it->second;
+  }
+  return kNullValue;
+}
+
+const Value& Value::at(std::size_t i) const {
+  if (type_ == Type::kArray && i < arr_.size()) return arr_[i];
+  return kNullValue;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void Value::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      out += number(num_);
+      break;
+    case Type::kString:
+      out.push_back('"');
+      out += escape(str_);
+      out.push_back('"');
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& v : arr_) {
+        if (!first) out.push_back(',');
+        first = false;
+        v.dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        out += escape(k);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+bool parse(const std::string& text, Value& out, std::string* error) {
+  Parser p{text, 0, {}};
+  if (!p.parse_value(out, 0)) {
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr) *error = "trailing garbage";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ht::json

@@ -31,6 +31,19 @@ double RunStats::stddev() const {
   return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
 }
 
+double RunStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  if (p <= 0.0) return s.front();
+  if (p >= 100.0) return s.back();
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] + frac * (s[lo + 1] - s[lo]);
+}
+
 double RunStats::min() const {
   HT_ASSERT(!samples_.empty(), "min of empty sample set");
   return *std::min_element(samples_.begin(), samples_.end());

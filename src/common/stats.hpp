@@ -26,6 +26,13 @@ class RunStats {
   double min() const;
   double max() const;
 
+  // p-th percentile (0 <= p <= 100) with linear interpolation between order
+  // statistics (the "exclusive" rank p/100 * (n-1)); percentile(50) equals
+  // median(). Returns 0.0 for an empty sample set — like stddev() and
+  // ci95_half_width(), degenerate inputs yield 0, never NaN, so JSON reports
+  // built from partial runs stay well-formed.
+  double percentile(double p) const;
+
   // Half-width of the 95% confidence interval for the mean
   // (normal approximation; the paper's intervals are likewise symmetric).
   double ci95_half_width() const;

@@ -28,6 +28,7 @@
 #include "enforcer/region.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/thread_context.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ht {
 
@@ -84,6 +85,7 @@ class RsEnforcer {
       ctx.in_region = true;
       ctx.undo_log = &log;
       ctx.region_access_count = 0;
+      HT_TELEM_CYCLES(telem_attempt_t0);
       try {
         fn();
         // Committed: writes stay; exit two-phase locking and respond to any
@@ -102,6 +104,7 @@ class RsEnforcer {
         ctx.in_region = false;
         ctx.undo_log = nullptr;
         ++ctx.stats.region_restarts;
+        HT_TELEM_ELAPSED(ctx, kRegionRestart, telem_attempt_t0, attempt, 0);
         ++attempt;
         if (!serial) backoff(ctx, attempt);
       }

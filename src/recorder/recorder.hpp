@@ -14,6 +14,7 @@
 #include "recorder/dependence_log.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/thread_context.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ht {
 
@@ -28,6 +29,7 @@ class DependenceRecorder {
   void edge(ThreadContext& ctx, ThreadId src, std::uint64_t value) {
     logs_[ctx.id].events.push_back(
         LogEvent{ctx.point_index, LogEventType::kEdge, src, value});
+    HT_TELEM_EVENT(ctx, kDepEdge, value, src, 0);
   }
 
   // Conservative fan-out: one edge per other registered thread at its

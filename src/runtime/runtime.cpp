@@ -5,6 +5,7 @@
 
 #include "common/spin.hpp"
 #include "faultinject/fault_injector.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ht {
 
@@ -14,7 +15,12 @@ Runtime::Runtime(RuntimeConfig cfg)
       injector_(cfg_.fault_injector) {}
 
 ThreadContext& Runtime::register_thread() {
-  return registry_.register_thread(this);
+  ThreadContext& ctx = registry_.register_thread(this);
+  if (cfg_.telemetry != nullptr) {
+    ctx.telem = cfg_.telemetry->attach(ctx.id);
+    HT_TELEM_EVENT(ctx, kThreadStart, ctx.point_index, 0, 0);
+  }
+  return ctx;
 }
 
 void Runtime::unregister_thread(ThreadContext& ctx) {
@@ -25,6 +31,7 @@ void Runtime::unregister_thread(ThreadContext& ctx) {
   // (deterministic, so it is not logged).
   ctx.run_flush_hook();
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
+  HT_TELEM_EVENT(ctx, kThreadExit, ctx.release_counter_relaxed(), 0, 0);
   registry_.mark_exited(ctx);
   // Answer any stragglers that ticketed before seeing the parked status.
   const std::uint64_t req =
@@ -40,6 +47,7 @@ void Runtime::psro(ThreadContext& ctx) {
   ++ctx.stats.psros;
   ctx.run_flush_hook();
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
+  HT_TELEM_EVENT(ctx, kPsro, ctx.release_counter_relaxed(), 0, 0);
   // Pending requests are satisfied by the flush we just performed; the PSRO
   // bump doubles as the responding bump, so no extra increment and no
   // response log entry (the PSRO bump is deterministic — DESIGN.md §4.4).
@@ -61,6 +69,7 @@ void Runtime::respond(ThreadContext& ctx) {
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
   ctx.owner_side.response_watermark.store(req, std::memory_order_release);
   ++ctx.stats.responding_safepoints;
+  HT_TELEM_EVENT(ctx, kSafePointResponse, ctx.release_counter_relaxed(), 0, 0);
   ctx.run_resp_log_hook();  // recorder: nondeterministic bump -> log it
 }
 
@@ -82,6 +91,7 @@ void Runtime::begin_blocking(ThreadContext& ctx) {
   ctx.run_flush_hook();
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
   ++ctx.stats.responding_safepoints;
+  HT_TELEM_EVENT(ctx, kBlockingEnter, ctx.release_counter_relaxed(), 0, 0);
   ctx.run_resp_log_hook();
   ctx.owner_side.status.store(s | ThreadStatus::kBlockedBit,
                               std::memory_order_release);
@@ -108,6 +118,7 @@ void Runtime::end_blocking(ThreadContext& ctx) {
       break;
     }
   }
+  HT_TELEM_EVENT(ctx, kBlockingExit, ctx.release_counter_relaxed(), 0, 0);
   // Wake-up is a responding safe point for requests that arrived while we
   // were parked but whose senders did not use implicit coordination.
   if (ctx.requests_pending()) respond(ctx);
@@ -141,6 +152,7 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
   HT_ASSERT(owner != self.id, "self-coordination");
   ThreadContext& remote = registry_.context(owner);
   ++self.stats.coordination_rounds;
+  HT_TELEM_CYCLES(telem_t0);
 
   // Fast path: implicit coordination with a blocked owner (§2.2). The CAS on
   // the epoch proves the owner is parked beyond its flush-and-bump.
@@ -149,6 +161,7 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
     if (remote.owner_side.status.compare_exchange_strong(
             st, ThreadStatus::bump_epoch(st), std::memory_order_acq_rel,
             std::memory_order_acquire)) {
+      HT_TELEM_ELAPSED(self, kCoordRoundTrip, telem_t0, owner, 1);
       return CoordResult{
           remote.owner_side.release_counter.load(std::memory_order_acquire),
           /*implicit=*/true};
@@ -171,6 +184,7 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
   for (;;) {
     if (remote.owner_side.response_watermark.load(std::memory_order_acquire) >=
         ticket) {
+      HT_TELEM_ELAPSED(self, kCoordRoundTrip, telem_t0, owner, 0);
       return CoordResult{
           remote.owner_side.release_counter.load(std::memory_order_acquire),
           /*implicit=*/false};
@@ -182,6 +196,7 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
             std::memory_order_acquire)) {
       // Owner blocked after our ticket; our abandoned ticket is harmless
       // (the watermark scheme answers it at the owner's next safe point).
+      HT_TELEM_ELAPSED(self, kCoordRoundTrip, telem_t0, owner, 1);
       return CoordResult{
           remote.owner_side.release_counter.load(std::memory_order_acquire),
           /*implicit=*/true};

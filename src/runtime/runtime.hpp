@@ -44,6 +44,10 @@ namespace ht {
 
 class FaultInjector;
 
+namespace telemetry {
+class TelemetrySession;
+}  // namespace telemetry
+
 // Point-in-time liveness sample of one thread, as seen by the watchdog.
 struct ThreadLivenessSample {
   ThreadId id = kNoThread;
@@ -110,6 +114,11 @@ struct RuntimeConfig {
   // Optional fault injector (not owned; must outlive the Runtime). When
   // null — the default — every injection site compiles down to one branch.
   FaultInjector* fault_injector = nullptr;
+  // Optional telemetry session (not owned; must outlive the Runtime).
+  // register_thread() attaches each context to its per-thread event ring;
+  // without HT_TELEMETRY=ON the instrumentation macros compile away and the
+  // rings stay empty.
+  telemetry::TelemetrySession* telemetry = nullptr;
 };
 
 class Runtime {

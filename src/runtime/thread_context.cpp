@@ -17,6 +17,7 @@ void ThreadContext::reset(ThreadId new_id, Runtime* rt) {
   lock_buffer.clear();
   rd_set.clear();
   stats = TransitionStats{};
+  telem = nullptr;
   in_region = false;
   restart_requested = false;
   undo_log = nullptr;

@@ -28,6 +28,10 @@ class Runtime;
 class ThreadContext;
 class UndoLog;
 
+namespace telemetry {
+class EventRing;
+}  // namespace telemetry
+
 // Thread status word: bit 0 = blocked, bits 1.. = epoch. A requester that
 // finds the blocked bit set CASes the epoch up; success proves the owner is
 // parked at a blocking safe point (with its lock buffer already flushed), so
@@ -82,6 +86,12 @@ class ThreadContext {
   FlatPtrSet rd_set;
 
   TransitionStats stats;
+
+  // Telemetry ring (single-writer: this thread). Null unless a
+  // TelemetrySession is installed on the runtime; the HT_TELEM_* macros
+  // (telemetry/telemetry.hpp) compile away entirely in default builds, so
+  // this pointer is the only unconditional footprint of the layer.
+  telemetry::EventRing* telem = nullptr;
 
   // --- RS enforcer state ------------------------------------------------------
   bool in_region = false;

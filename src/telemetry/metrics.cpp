@@ -1,0 +1,235 @@
+#include "telemetry/metrics.hpp"
+
+#include "common/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ht::telemetry {
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name,
+                                        const std::string& help) {
+  for (auto& c : counters_) {
+    if (c.name == name) return c.value;
+  }
+  counters_.push_back(CounterEntry{name, help, 0});
+  return counters_.back().value;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             const std::string& help) {
+  for (auto& h : histograms_) {
+    if (h.name == name) return h.hist;
+  }
+  histograms_.push_back(HistogramEntry{name, help, LatencyHistogram()});
+  return histograms_.back().hist;
+}
+
+namespace {
+
+// Highest bucket index worth emitting: the last non-empty one (so empty
+// histograms emit just the le="0" bucket and +Inf).
+std::size_t last_nonempty_bucket(const Log2Histogram& h) {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (h.bucket(i) != 0) last = i;
+  }
+  return last;
+}
+
+// Upper bound (inclusive) of bucket i: 0, 1, 3, 7, 15, ...
+std::uint64_t bucket_le(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += json::escape(c.name);
+    out += "\":";
+    out += json::number(static_cast<double>(c.value));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += json::escape(h.name);
+    out += "\":{\"count\":";
+    out += json::number(static_cast<double>(h.hist.count()));
+    out += ",\"sum\":";
+    out += json::number(static_cast<double>(h.hist.sum()));
+    out += ",\"max\":";
+    out += json::number(static_cast<double>(h.hist.max()));
+    out += ",\"buckets\":[";
+    const auto& b = h.hist.buckets();
+    const std::size_t last = last_nonempty_bucket(b);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i <= last; ++i) {
+      cum += b.bucket(i);
+      if (i != 0) out.push_back(',');
+      out += "{\"le\":";
+      out += json::number(static_cast<double>(bucket_le(i)));
+      out += ",\"count\":";
+      out += json::number(static_cast<double>(cum));
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  for (const auto& c : counters_) {
+    if (!c.help.empty()) {
+      out += "# HELP ";
+      out += c.name;
+      out.push_back(' ');
+      out += c.help;
+      out.push_back('\n');
+    }
+    out += "# TYPE ";
+    out += c.name;
+    out += " counter\n";
+    out += c.name;
+    out.push_back(' ');
+    out += json::number(static_cast<double>(c.value));
+    out.push_back('\n');
+  }
+  for (const auto& h : histograms_) {
+    if (!h.help.empty()) {
+      out += "# HELP ";
+      out += h.name;
+      out.push_back(' ');
+      out += h.help;
+      out.push_back('\n');
+    }
+    out += "# TYPE ";
+    out += h.name;
+    out += " histogram\n";
+    const auto& b = h.hist.buckets();
+    const std::size_t last = last_nonempty_bucket(b);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i <= last; ++i) {
+      cum += b.bucket(i);
+      out += h.name;
+      out += "_bucket{le=\"";
+      out += json::number(static_cast<double>(bucket_le(i)));
+      out += "\"} ";
+      out += json::number(static_cast<double>(cum));
+      out.push_back('\n');
+    }
+    out += h.name;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += json::number(static_cast<double>(h.hist.count()));
+    out.push_back('\n');
+    out += h.name;
+    out += "_sum ";
+    out += json::number(static_cast<double>(h.hist.sum()));
+    out.push_back('\n');
+    out += h.name;
+    out += "_count ";
+    out += json::number(static_cast<double>(h.hist.count()));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+MetricsRegistry aggregate_metrics(const TraceSnapshot& snap) {
+  MetricsRegistry reg;
+  auto& events = reg.counter("ht_events_total", "telemetry events drained");
+  auto& dropped =
+      reg.counter("ht_events_dropped_total", "events lost to ring overwrite");
+  auto& coord =
+      reg.counter("ht_coord_roundtrips_total", "coordination round trips");
+  auto& coord_implicit = reg.counter("ht_coord_implicit_total",
+                                     "round trips resolved implicitly");
+  auto& responses = reg.counter("ht_safepoint_responses_total",
+                                "responding safe points");
+  auto& psros = reg.counter("ht_psros_total", "program-synchronization ops");
+  auto& flushes =
+      reg.counter("ht_deferred_flushes_total", "deferred-unlock buffer flushes");
+  auto& opt_conf = reg.counter("ht_opt_conflicts_total",
+                               "optimistic conflicting transitions");
+  auto& opt_conf_explicit = reg.counter(
+      "ht_opt_conflicts_explicit_total", "conflicts needing explicit round trips");
+  auto& pess_acq =
+      reg.counter("ht_pess_acquires_total", "pessimistic lock acquisitions");
+  auto& pess_contended = reg.counter("ht_pess_contended_total",
+                                     "contended pessimistic acquisitions");
+  auto& to_pess = reg.counter("ht_policy_opt_to_pess_total",
+                              "adaptive policy opt->pess moves");
+  auto& to_opt = reg.counter("ht_policy_pess_to_opt_total",
+                             "adaptive policy pess->opt moves");
+  auto& restarts = reg.counter("ht_region_restarts_total", "RS region restarts");
+  auto& edges =
+      reg.counter("ht_dep_edges_total", "recorded cross-thread dependences");
+  auto& coord_hist = reg.histogram("ht_coord_roundtrip_cycles",
+                                   "coordination round-trip latency (cycles)");
+  auto& wait_hist = reg.histogram("ht_pess_wait_cycles",
+                                  "pessimistic lock acquisition wait (cycles)");
+  auto& restart_hist = reg.histogram("ht_region_restart_cycles",
+                                     "cycles burned by aborted region attempts");
+
+  for (const auto& t : snap.threads) {
+    dropped += t.dropped;
+    for (const Event& e : t.events) {
+      ++events;
+      switch (static_cast<EventKind>(e.kind)) {
+        case EventKind::kCoordRoundTrip:
+          ++coord;
+          if (e.arg2 != 0) ++coord_implicit;
+          coord_hist.add(e.arg0);
+          break;
+        case EventKind::kSafePointResponse:
+          ++responses;
+          break;
+        case EventKind::kPsro:
+          ++psros;
+          break;
+        case EventKind::kDeferredFlush:
+          ++flushes;
+          break;
+        case EventKind::kOptConflict:
+          ++opt_conf;
+          if ((e.arg2 & kFlagExplicit) != 0) ++opt_conf_explicit;
+          if ((e.arg2 & kFlagWentPess) != 0) ++to_pess;
+          break;
+        case EventKind::kPessAcquire:
+          ++pess_acq;
+          if ((e.arg2 & kFlagContended) != 0) ++pess_contended;
+          break;
+        case EventKind::kPessWait:
+          wait_hist.add(e.arg0);
+          break;
+        case EventKind::kPolicyOptToPess:
+          ++to_pess;
+          break;
+        case EventKind::kPolicyPessToOpt:
+          ++to_opt;
+          break;
+        case EventKind::kRegionRestart:
+          ++restarts;
+          restart_hist.add(e.arg0);
+          break;
+        case EventKind::kDepEdge:
+          ++edges;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return reg;
+}
+
+}  // namespace ht::telemetry

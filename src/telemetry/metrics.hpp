@@ -1,0 +1,80 @@
+// Metrics registry: named counters and Log2Histogram-backed latency
+// histograms, with JSON and Prometheus-text exporters (DESIGN.md §10.4).
+//
+// The registry is an offline aggregation structure (built from a drained
+// TraceSnapshot, or by hand in tests) — it is deliberately not written from
+// the hot paths; those only append ring events.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace ht::telemetry {
+
+struct TraceSnapshot;
+
+// A Log2Histogram plus the sum/count/max that Prometheus histograms need and
+// the plain bucket array cannot recover.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(int max_bucket = 40) : buckets_(max_bucket) {}
+
+  void add(std::uint64_t v) {
+    buckets_.add(v);
+    sum_ += v;
+    if (v > max_) max_ = v;
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  const Log2Histogram& buckets() const { return buckets_; }
+
+ private:
+  Log2Histogram buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Find-or-create; insertion order is preserved in both export formats.
+  // Returned references stay valid across later counter()/histogram() calls
+  // (deque storage) — aggregate_metrics caches them across its event loop.
+  std::uint64_t& counter(const std::string& name, const std::string& help = "");
+  LatencyHistogram& histogram(const std::string& name,
+                              const std::string& help = "");
+
+  // {"counters": {...}, "histograms": {name: {count, sum, max, buckets:
+  // [{le, count}...]}}} with cumulative bucket counts (le = 2^k - 1).
+  std::string to_json() const;
+
+  // Prometheus text exposition format (counters + histograms with
+  // power-of-two `le` boundaries).
+  std::string to_prometheus() const;
+
+ private:
+  struct CounterEntry {
+    std::string name, help;
+    std::uint64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name, help;
+    LatencyHistogram hist;
+  };
+  std::deque<CounterEntry> counters_;
+  std::deque<HistogramEntry> histograms_;
+};
+
+// Folds a drained trace into the standard metric set: per-kind event
+// counters (ht_*_total) plus the three latency histograms the issue names —
+// coordination round trip, pessimistic lock acquisition wait, and
+// region-restart cost (all in cycles).
+MetricsRegistry aggregate_metrics(const TraceSnapshot& snap);
+
+}  // namespace ht::telemetry

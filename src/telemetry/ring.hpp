@@ -1,0 +1,152 @@
+// Lock-free single-writer event ring (DESIGN.md §10.2).
+//
+// Exactly one thread (the ring's owner) records; any thread may take a
+// best-effort snapshot concurrently. The writer never blocks and never
+// allocates: a full ring overwrites its oldest slot, and the drop count is
+// derived (recorded - capacity) rather than maintained, so the hot path is a
+// slot store, two stamp stores, and one release publish of the head.
+//
+// Snapshot correctness (per-slot seqlock): each slot i has a companion
+// stamp, 2g+1 while generation g is being written into it and 2g+2 once g
+// is complete (0 = never written). A snapshot walks [head - capacity, head)
+// and accepts a slot only if the stamp reads 2g+2 both before and after the
+// payload copy — so a slot the writer is lapping mid-copy is discarded, and
+// because the stamp carries the full 64-bit generation there is no
+// truncation window. Quiescent drains (after join) lose nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/cycle_timer.hpp"
+#include "common/spin.hpp"  // HT_TSAN
+#include "telemetry/event.hpp"
+
+namespace ht::telemetry {
+
+namespace detail {
+
+// Payload transfer between the single writer and concurrent snapshotters.
+// The stamp protocol makes torn copies detectable and discardable, so plain
+// word copies are correct; under TSan the same copies go through relaxed
+// atomic word accesses so the *intentional* race is not reported.
+inline void copy_slot_out(const Event& slot, Event& out) {
+#ifdef HT_TSAN
+  const auto* src = reinterpret_cast<const std::uint64_t*>(&slot);
+  auto* dst = reinterpret_cast<std::uint64_t*>(&out);
+  for (std::size_t w = 0; w < sizeof(Event) / 8; ++w) {
+    dst[w] = __atomic_load_n(&src[w], __ATOMIC_RELAXED);
+  }
+#else
+  out = slot;
+#endif
+}
+
+inline void copy_slot_in(const Event& value, Event& slot) {
+#ifdef HT_TSAN
+  const auto* src = reinterpret_cast<const std::uint64_t*>(&value);
+  auto* dst = reinterpret_cast<std::uint64_t*>(&slot);
+  for (std::size_t w = 0; w < sizeof(Event) / 8; ++w) {
+    __atomic_store_n(&dst[w], src[w], __ATOMIC_RELAXED);
+  }
+#else
+  slot = value;
+#endif
+}
+
+}  // namespace detail
+
+class EventRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 14;
+
+  explicit EventRing(std::uint16_t tid, std::size_t capacity = kDefaultCapacity)
+      : tid_(tid) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    stamps_ = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      stamps_[i].store(0, std::memory_order_relaxed);
+    }
+    mask_ = cap - 1;
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  // Owner-thread only.
+  void record(EventKind kind, std::uint64_t arg0 = 0, std::uint32_t arg1 = 0,
+              std::uint32_t arg2 = 0) {
+    const std::uint64_t seq = head_.load(std::memory_order_relaxed);
+    const std::size_t idx = static_cast<std::size_t>(seq) & mask_;
+    Event e;
+    e.tsc = read_cycles();
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.arg2 = arg2;
+    e.kind = static_cast<std::uint16_t>(kind);
+    e.tid = tid_;
+    e.seq = static_cast<std::uint32_t>(seq);
+    stamps_[idx].store(2 * seq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    detail::copy_slot_in(e, slots_[idx]);
+    stamps_[idx].store(2 * seq + 2, std::memory_order_release);
+    head_.store(seq + 1, std::memory_order_release);
+  }
+
+  std::uint16_t tid() const { return tid_; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Total events ever recorded (monotonic).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  // Events lost to overwrite: everything older than the newest `capacity`.
+  std::uint64_t dropped() const {
+    const std::uint64_t h = recorded();
+    const std::uint64_t cap = capacity();
+    return h > cap ? h - cap : 0;
+  }
+
+  // Oldest-to-newest copy of the surviving events. Safe concurrently with
+  // the writer (best effort); exact once the writer has quiesced.
+  std::vector<Event> snapshot() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t cap = capacity();
+    const std::uint64_t lo = h > cap ? h - cap : 0;
+    std::vector<Event> out;
+    out.reserve(static_cast<std::size_t>(h - lo));
+    for (std::uint64_t seq = lo; seq < h; ++seq) {
+      const std::size_t idx = static_cast<std::size_t>(seq) & mask_;
+      const std::uint64_t complete = 2 * seq + 2;
+      if (stamps_[idx].load(std::memory_order_acquire) != complete) continue;
+      Event e;
+      detail::copy_slot_out(slots_[idx], e);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (stamps_[idx].load(std::memory_order_relaxed) != complete) continue;
+      out.push_back(e);
+    }
+    return out;
+  }
+
+  // Owner-thread only: forget everything (trial reuse).
+  void clear() {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      stamps_[i].store(0, std::memory_order_relaxed);
+    }
+    head_.store(0, std::memory_order_release);
+  }
+
+ private:
+  std::vector<Event> slots_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stamps_;
+  std::size_t mask_ = 0;
+  std::uint16_t tid_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace ht::telemetry

@@ -1,0 +1,86 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ht::telemetry {
+
+std::vector<Event> TraceSnapshot::merged() const {
+  std::vector<Event> all;
+  all.reserve(static_cast<std::size_t>(total_events()));
+  for (const auto& t : threads) {
+    all.insert(all.end(), t.events.begin(), t.events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event& a, const Event& b) { return a.tsc < b.tsc; });
+  return all;
+}
+
+void TraceSnapshot::rebase() {
+  std::uint64_t lo = 0;
+  bool any = false;
+  for (const auto& t : threads) {
+    for (const Event& e : t.events) {
+      if (!any || e.tsc < lo) lo = e.tsc;
+      any = true;
+    }
+  }
+  base_tsc = any ? lo : 0;
+}
+
+double calibrate_cycles_per_second() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const std::uint64_t c0 = read_cycles();
+  // Busy-wait ~10 ms: long enough to swamp clock granularity, short enough
+  // that a drain stays interactive.
+  for (;;) {
+    const auto dt = Clock::now() - t0;
+    if (dt >= std::chrono::milliseconds(10)) {
+      const std::uint64_t c1 = read_cycles();
+      const double secs =
+          std::chrono::duration_cast<std::chrono::duration<double>>(dt).count();
+      if (secs <= 0 || c1 <= c0) return 1e9;  // fallback: treat cycles as ns
+      return static_cast<double>(c1 - c0) / secs;
+    }
+  }
+}
+
+EventRing* TelemetrySession::attach(ThreadId tid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto i = static_cast<std::size_t>(tid);
+  if (i >= rings_.size()) rings_.resize(i + 1);
+  if (rings_[i] == nullptr) {
+    rings_[i] = std::make_unique<EventRing>(static_cast<std::uint16_t>(tid),
+                                            ring_capacity_);
+  }
+  return rings_[i].get();
+}
+
+TraceSnapshot TelemetrySession::snapshot() const {
+  TraceSnapshot snap;
+  snap.cycles_per_second = calibrate_cycles_per_second();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& ring : rings_) {
+      if (ring == nullptr) continue;
+      ThreadTrace t;
+      t.tid = ring->tid();
+      t.events = ring->snapshot();
+      t.recorded = ring->recorded();
+      t.dropped = ring->dropped();
+      snap.threads.push_back(std::move(t));
+    }
+  }
+  snap.rebase();
+  return snap;
+}
+
+void TelemetrySession::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& ring : rings_) {
+    if (ring != nullptr) ring->clear();
+  }
+}
+
+}  // namespace ht::telemetry

@@ -106,6 +106,8 @@ class HybridTracker {
   // Deferred unlocking's buffer flush (Fig 10c); public so tests can force
   // flushes, normally reached via the thread hooks.
   void flush(ThreadContext& ctx) {
+    HT_TELEM_EVENT_IF(!ctx.lock_buffer.empty(), ctx, kDeferredFlush,
+                      ctx.lock_buffer.size(), 0, 0);
     for (ObjectMeta* m : ctx.lock_buffer) unlock_one(ctx, *m);
     ctx.lock_buffer.clear();
     ctx.rd_set.clear();
@@ -873,6 +875,10 @@ class HybridTracker {
       (any_explicit ? ctx.stats.opt_confl_explicit
                     : ctx.stats.opt_confl_implicit)++;
     }
+    HT_TELEM_EVENT(ctx, kOptConflict, 0, telemetry::object_id(&m),
+                   (any_explicit ? telemetry::kFlagExplicit : 0u) |
+                       (is_store ? telemetry::kFlagStore : 0u) |
+                       (went_pess ? telemetry::kFlagWentPess : 0u));
     return true;
   }
 
@@ -888,11 +894,13 @@ class HybridTracker {
       contended = true;
       policy_.note_pess_contended(m);
     }
+    HT_TELEM_CYCLES(telem_t0);
     if (s.kind() == StateKind::kRdShRLock) {
       rt.coordinate_all_others(ctx);  // holders unknown (footnote 4)
     } else {
       rt.coordinate(ctx, s.tid());
     }
+    HT_TELEM_ELAPSED(ctx, kPessWait, telem_t0, telemetry::object_id(&m), 0);
     // Edges for the eventual transition are recorded by the uncontended
     // retry ("T2 then records its uncontended transition ... as described
     // above", §4.2); the holders' responses were logged by the runtime.
@@ -902,6 +910,7 @@ class HybridTracker {
     if (to_opt) {
       policy_.commit_go_opt(m);
       if constexpr (kStats) ++ctx.stats.pess_to_opt;
+      HT_TELEM_EVENT(ctx, kPolicyPessToOpt, 0, telemetry::object_id(&m), 0);
     }
     (void)ctx;
     (void)m;
@@ -918,6 +927,9 @@ class HybridTracker {
         if (reentrant) ++ctx.stats.pess_reentrant;
       }
     }
+    HT_TELEM_EVENT(ctx, kPessAcquire, 0, telemetry::object_id(&m),
+                   (contended ? telemetry::kFlagContended : 0u) |
+                       (reentrant ? telemetry::kFlagReentrant : 0u));
     (void)reentrant;
     (void)contended;
   }

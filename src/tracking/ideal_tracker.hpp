@@ -151,6 +151,10 @@ class IdealTracker {
           (conflicting ? ctx.stats.opt_confl_implicit
                        : ctx.stats.opt_upgrading)++;
         }
+        HT_TELEM_EVENT_IF(conflicting, ctx, kOptConflict, 0,
+                          telemetry::object_id(&m),
+                          telemetry::kFlagElided |
+                              (is_store ? telemetry::kFlagStore : 0u));
         (void)conflicting;
         return;
       }

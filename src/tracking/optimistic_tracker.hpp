@@ -256,6 +256,11 @@ class OptimisticTracker {
       (any_explicit ? ctx.stats.opt_confl_explicit
                     : ctx.stats.opt_confl_implicit)++;
     }
+    HT_TELEM_EVENT(ctx, kOptConflict, 0, telemetry::object_id(&m),
+                   (any_explicit ? telemetry::kFlagExplicit : 0u) |
+                       (new_state.kind() == StateKind::kWrExOpt
+                            ? telemetry::kFlagStore
+                            : 0u));
     (void)any_explicit;
     return true;
   }

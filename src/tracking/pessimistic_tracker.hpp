@@ -113,8 +113,8 @@ class PessimisticTracker {
  private:
   // "do { s = o.state; } while (s == LOCKED || !CAS(&o.state, s, LOCKED))"
   StateWord lock(ThreadContext& ctx, ObjectMeta& m) {
-    Backoff backoff;
-    for (;;) {
+    // Uncontended first attempt, outside the timed wait loop.
+    {
       StateWord s = m.load_state();
       if (s.kind() != StateKind::kPessLockedSentinel) {
         StateWord expected = s;
@@ -123,9 +123,27 @@ class PessimisticTracker {
           return s;
         }
       }
+    }
+    return lock_contended(ctx, m);
+  }
+
+  StateWord lock_contended(ThreadContext& ctx, ObjectMeta& m) {
+    HT_TELEM_CYCLES(telem_t0);
+    Backoff backoff;
+    for (;;) {
       runtime_->fault_point_slow_path(ctx);
       schedule::wait_point();  // contended-lock spin is a wait point
       if (!schedule::virtualized()) backoff.pause();
+      StateWord s = m.load_state();
+      if (s.kind() != StateKind::kPessLockedSentinel) {
+        StateWord expected = s;
+        if (m.cas_state(expected,
+                        StateWord::pess_locked_sentinel(ctx.id))) {
+          HT_TELEM_ELAPSED(ctx, kPessWait, telem_t0,
+                           telemetry::object_id(&m), 0);
+          return s;
+        }
+      }
     }
   }
 

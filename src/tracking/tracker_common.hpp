@@ -9,6 +9,9 @@
 #include "metadata/object_meta.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/thread_context.hpp"
+// HT_TELEM_* event macros (zero-cost unless HT_TELEMETRY=ON), used by every
+// tracker plus the enforcer and recorder.
+#include "telemetry/telemetry.hpp"
 
 // Shadow-checking hooks (CMake option HT_CHECK_TRANSITIONS). Call sites pass
 // a braced ht::analysis::TransitionObs initializer; with the option off the

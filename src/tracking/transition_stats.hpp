@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace ht {
@@ -64,6 +65,16 @@ struct TransitionStats {
   // One Table-2-style row: "opt-same opt-confl pess-uncont %reent
   // pess-cont opt->pess pess->opt".
   std::string table2_row() const;
+
+  // Flat JSON object of all sixteen counters, one key per field (same names
+  // as the members). Round-trips through from_json; --json bench reports
+  // embed it verbatim.
+  std::string to_json() const;
+
+  // Parses a to_json() object. Unknown keys are ignored (older readers keep
+  // working when counters are added); missing keys stay zero. Returns
+  // nullopt if `text` is not a JSON object or a counter is not a number.
+  static std::optional<TransitionStats> from_json(const std::string& text);
 };
 
 }  // namespace ht

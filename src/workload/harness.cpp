@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -31,6 +33,103 @@ Overhead overhead_vs(const RunStats& base, const RunStats& config) {
   o.mean_pct = (config.mean() / b - 1.0) * 100.0;
   o.ci_half_pct = config.ci95_half_width() / b * 100.0;
   return o;
+}
+
+json::Value run_stats_json(const RunStats& s) {
+  json::Object o;
+  json::Array samples;
+  samples.reserve(s.count());
+  for (double v : s.samples()) samples.emplace_back(v);
+  o["samples"] = json::Value(std::move(samples));
+  o["count"] = json::Value(static_cast<std::uint64_t>(s.count()));
+  if (!s.empty()) {
+    o["median"] = json::Value(s.median());
+    o["mean"] = json::Value(s.mean());
+    o["min"] = json::Value(s.min());
+    o["max"] = json::Value(s.max());
+    o["p10"] = json::Value(s.percentile(10));
+    o["p90"] = json::Value(s.percentile(90));
+  }
+  o["stddev"] = json::Value(s.stddev());
+  o["ci95_half_width"] = json::Value(s.ci95_half_width());
+  return json::Value(std::move(o));
+}
+
+void BenchJsonReport::set_meta(const std::string& key, json::Value value) {
+  meta_[key] = std::move(value);
+}
+
+json::Object& BenchJsonReport::row(const std::string& workload,
+                                   const std::string& config) {
+  for (Row& r : rows_) {
+    if (r.workload == workload && r.config == config) return r.fields;
+  }
+  rows_.push_back(Row{workload, config, {}});
+  return rows_.back().fields;
+}
+
+void BenchJsonReport::add_series(const std::string& workload,
+                                 const std::string& config,
+                                 const TrialSeries& series) {
+  json::Object& f = row(workload, config);
+  f["seconds"] = run_stats_json(series.seconds);
+  f["cycles"] = run_stats_json(series.cycles);
+  f["join_skew_seconds"] = run_stats_json(series.join_skew);
+}
+
+void BenchJsonReport::add_stats(const std::string& workload,
+                                const std::string& config,
+                                const TransitionStats& stats) {
+  json::Value parsed;
+  const bool ok = json::parse(stats.to_json(), parsed);
+  HT_ASSERT(ok, "TransitionStats::to_json produced invalid JSON");
+  row(workload, config)["stats"] = std::move(parsed);
+}
+
+void BenchJsonReport::add_value(const std::string& workload,
+                                const std::string& config,
+                                const std::string& key, json::Value value) {
+  json::Object& f = row(workload, config);
+  if (!f.count("values")) f["values"] = json::Value(json::Object{});
+  json::Object& vals = f["values"].as_object();
+  vals[key] = std::move(value);
+}
+
+std::string BenchJsonReport::to_json() const {
+  json::Object top;
+  top["bench"] = json::Value(bench_);
+  top["meta"] = json::Value(meta_);
+  json::Array rows;
+  rows.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    json::Object o = r.fields;
+    o["workload"] = json::Value(r.workload);
+    o["config"] = json::Value(r.config);
+    rows.emplace_back(std::move(o));
+  }
+  top["rows"] = json::Value(std::move(rows));
+  return json::Value(std::move(top)).dump();
+}
+
+bool BenchJsonReport::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = to_json();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  return ok;
+}
+
+std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
 }
 
 void print_table_rule(int width) {

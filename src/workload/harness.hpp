@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/stats.hpp"
+#include "tracking/transition_stats.hpp"
 #include "workload/workload.hpp"
 
 namespace ht {
@@ -41,6 +43,79 @@ struct Overhead {
 };
 
 Overhead overhead_vs(const RunStats& base, const RunStats& config);
+
+// --- JSON bench reports ------------------------------------------------------
+
+// Per-trial sample series beyond wall seconds: the same timed window in raw
+// cycle_timer ticks and the thread-join skew, both taken from
+// WorkloadRunResult. Archived by --json reports so trace timestamps can be
+// related to trial times and so skewed (tail-runs-alone) trials are visible.
+struct TrialSeries {
+  RunStats seconds;
+  RunStats cycles;     // cycle_timer ticks
+  RunStats join_skew;  // seconds between first and last worker finishing
+};
+
+// run_trials, but keeping all three per-trial sample series.
+template <typename RunFn>
+TrialSeries run_trial_series(int trials, RunFn&& fn, int discard = 1) {
+  TrialSeries s;
+  for (int i = 0; i < discard; ++i) (void)fn();
+  for (int i = 0; i < trials; ++i) {
+    const WorkloadRunResult r = fn();
+    s.seconds.add(r.seconds);
+    s.cycles.add(static_cast<double>(r.cycles));
+    s.join_skew.add(r.join_skew_seconds);
+  }
+  return s;
+}
+
+// Summary of one RunStats series as a JSON object: the raw samples plus the
+// paper's reporting statistics (median, mean, 95% CI) and percentiles.
+json::Value run_stats_json(const RunStats& s);
+
+// Machine-readable bench output (the --json flag every fig*/table2 harness
+// takes). One report holds rows keyed by (workload, config); a row can carry
+// trial series, merged TransitionStats, and free-form named values — CI
+// archives the files as BENCH_*.json artifacts.
+class BenchJsonReport {
+ public:
+  explicit BenchJsonReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  // Report-wide metadata (trial count, scale, tracker identity, ...).
+  void set_meta(const std::string& key, json::Value value);
+
+  void add_series(const std::string& workload, const std::string& config,
+                  const TrialSeries& series);
+  void add_stats(const std::string& workload, const std::string& config,
+                 const TransitionStats& stats);
+  void add_value(const std::string& workload, const std::string& config,
+                 const std::string& key, json::Value value);
+
+  std::string to_json() const;
+
+  // Writes to_json() to `path`; returns false (after perror-style stderr
+  // output) if the file cannot be written.
+  bool write(const std::string& path) const;
+
+ private:
+  json::Object& row(const std::string& workload, const std::string& config);
+
+  struct Row {
+    std::string workload;
+    std::string config;
+    json::Object fields;
+  };
+
+  std::string bench_;
+  json::Object meta_;
+  std::vector<Row> rows_;  // insertion-ordered
+};
+
+// Scans argv for `--json <path>`; returns the path or "" when absent. The
+// flag is shared by every bench harness; unrelated arguments are ignored.
+std::string json_path_from_args(int argc, char** argv);
 
 // --- row printing -----------------------------------------------------------
 void print_table_rule(int width = 96);

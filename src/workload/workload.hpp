@@ -19,7 +19,9 @@
 // identical per-thread instruction streams (DESIGN.md §4.4).
 #pragma once
 
+#include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -320,6 +322,15 @@ std::uint64_t workload_thread_body(Api& api, const WorkloadConfig& cfg,
 
 struct WorkloadRunResult {
   double seconds = 0;
+  // The same timed window in raw cycle_timer ticks (0 when the counter is
+  // unavailable). Bench --json reports archive it next to `seconds` so trace
+  // timestamps (also in ticks) can be related to trial wall times without
+  // trusting the cycles-per-second calibration.
+  std::uint64_t cycles = 0;
+  // Spread between the first and last worker finishing its body: large skew
+  // means the tail thread ran partly alone and the trial measured less
+  // contention than configured.
+  double join_skew_seconds = 0;
   TransitionStats stats;
   std::vector<std::uint64_t> checksums;
 };
@@ -333,6 +344,8 @@ WorkloadRunResult run_threads(int nthreads, MakeApi&& make_api, Init&& init,
   WorkloadRunResult result;
   result.checksums.assign(static_cast<std::size_t>(nthreads), 0);
   std::vector<TransitionStats> stats(static_cast<std::size_t>(nthreads));
+  std::vector<std::chrono::steady_clock::time_point> finished(
+      static_cast<std::size_t>(nthreads));
 
   // Two rendezvous: init (single-owner setup) must complete everywhere
   // before warm-up touches shared data, and warm-up must complete before
@@ -357,6 +370,7 @@ WorkloadRunResult run_threads(int nthreads, MakeApi&& make_api, Init&& init,
       start_barrier.arrive_and_wait();
       api.end_wait();
       result.checksums[static_cast<std::size_t>(t)] = body(api, tid);
+      finished[static_cast<std::size_t>(t)] = std::chrono::steady_clock::now();
       stats[static_cast<std::size_t>(t)] = api.take_stats();
       api.end_thread();
     });
@@ -364,9 +378,14 @@ WorkloadRunResult run_threads(int nthreads, MakeApi&& make_api, Init&& init,
 
   start_barrier.arrive_and_wait();
   WallTimer timer;
+  const std::uint64_t cycles0 = read_cycles();
   for (auto& th : threads) th.join();
+  result.cycles = read_cycles() - cycles0;
   result.seconds = timer.elapsed_seconds();
   for (const auto& s : stats) result.stats += s;
+  auto [first, last] = std::minmax_element(finished.begin(), finished.end());
+  result.join_skew_seconds =
+      std::chrono::duration<double>(*last - *first).count();
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/flat_set.hpp"
+#include "common/json.hpp"
 #include "common/mpsc_queue.hpp"
 #include "common/spin.hpp"
 #include "common/stats.hpp"
@@ -42,6 +43,33 @@ TEST(RunStats, SingleSampleHasZeroCi) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
+TEST(RunStats, EmptyStatsNeverReturnNan) {
+  const RunStats s;
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(RunStats, PercentileInterpolatesBetweenSortedSamples) {
+  RunStats s;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), s.median());
+  // rank = 0.25 * 3 = 0.75 -> 1.0 + 0.75 * (2.0 - 1.0)
+  EXPECT_DOUBLE_EQ(s.percentile(25), 1.75);
+  // Out-of-range requests clamp to the extremes.
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(200), 4.0);
+}
+
+TEST(RunStats, PercentileOfSingleSample) {
+  RunStats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(10), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(90), 7.0);
+}
+
 TEST(GeomeanOverhead, MatchesHandComputation) {
   // (1.10 * 1.21)^(1/2) - 1 = 0.1537...
   EXPECT_NEAR(geomean_overhead({0.10, 0.21}), 0.15372, 1e-4);
@@ -60,6 +88,44 @@ TEST(FormatSci, LargeValuesUseMantissaExponent) {
   EXPECT_EQ(format_sci(1.2e10), "1.2e10");
   EXPECT_EQ(format_sci(6.1e8), "6.1e8");
   EXPECT_EQ(format_sci(130), "1.3e2");
+}
+
+// --- json ---------------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  json::Object o;
+  o["n"] = json::Value(std::uint64_t{18446744073709551615ull} / 2);  // 2^63-ish
+  o["s"] = json::Value(std::string("a\"b\\c\n"));
+  o["b"] = json::Value(true);
+  o["arr"] = json::Value(json::Array{json::Value(1.5), json::Value()});
+  const std::string text = json::Value(std::move(o)).dump();
+
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::parse(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed.at("s").as_string(), "a\"b\\c\n");
+  EXPECT_TRUE(parsed.at("b").as_bool());
+  EXPECT_DOUBLE_EQ(parsed.at("arr").at(0).as_double(), 1.5);
+  EXPECT_TRUE(parsed.at("arr").at(1).is_null());
+  EXPECT_TRUE(parsed.at("missing").is_null());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  json::Value v;
+  std::string error;
+  EXPECT_FALSE(json::parse("", v, &error));
+  EXPECT_FALSE(json::parse("{\"a\":1", v, &error));
+  EXPECT_FALSE(json::parse("{} trailing", v, &error));
+  EXPECT_FALSE(json::parse("{\"a\":1}x", v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, IntegersSurviveExactly) {
+  EXPECT_EQ(json::Value(std::uint64_t{123456789012345ull}).dump(),
+            "123456789012345");
+  json::Value v;
+  ASSERT_TRUE(json::parse("123456789012345", v));
+  EXPECT_EQ(v.as_u64(), 123456789012345ull);
 }
 
 // --- Log2Histogram ------------------------------------------------------------

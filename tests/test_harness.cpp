@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace ht {
 namespace {
@@ -88,6 +90,82 @@ TEST(RunTrials, DiscardZeroKeepsEveryCall) {
   EXPECT_EQ(calls, 2);
   EXPECT_DOUBLE_EQ(s.median(), 1.5);
   (void)s;
+}
+
+TEST(RunTrialSeries, CollectsSecondsCyclesAndSkewPerTrial) {
+  int calls = 0;
+  const TrialSeries series = run_trial_series(3, [&] {
+    WorkloadRunResult r;
+    ++calls;
+    r.seconds = calls * 0.5;
+    r.cycles = static_cast<std::uint64_t>(calls) * 100;
+    r.join_skew_seconds = calls * 0.001;
+    return r;
+  });
+  EXPECT_EQ(calls, 4);  // one discarded warm-up + three timed
+  EXPECT_EQ(series.seconds.count(), 3u);
+  EXPECT_EQ(series.cycles.count(), 3u);
+  EXPECT_EQ(series.join_skew.count(), 3u);
+  // Timed trials are calls 2..4.
+  EXPECT_DOUBLE_EQ(series.seconds.median(), 1.5);
+  EXPECT_DOUBLE_EQ(series.cycles.median(), 300.0);
+  EXPECT_DOUBLE_EQ(series.join_skew.median(), 0.003);
+}
+
+TEST(BenchJsonReport, ProducesParsableReportWithRowsAndMeta) {
+  BenchJsonReport report("test_bench");
+  report.set_meta("trials", json::Value(3));
+
+  TrialSeries series;
+  for (double v : {1.0, 2.0, 3.0}) {
+    series.seconds.add(v);
+    series.cycles.add(v * 1000);
+    series.join_skew.add(v / 1000);
+  }
+  report.add_series("wl", "hybrid", series);
+  TransitionStats stats;
+  stats.opt_same = 42;
+  report.add_stats("wl", "hybrid", stats);
+  report.add_value("wl", "hybrid", "knee", json::Value(7));
+
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::parse(report.to_json(), parsed, &error)) << error;
+  EXPECT_EQ(parsed.at("bench").as_string(), "test_bench");
+  EXPECT_EQ(parsed.at("meta").at("trials").as_u64(), 3u);
+  ASSERT_EQ(parsed.at("rows").as_array().size(), 1u);  // same row reused
+  const json::Value& row = parsed.at("rows").at(0);
+  EXPECT_EQ(row.at("workload").as_string(), "wl");
+  EXPECT_EQ(row.at("config").as_string(), "hybrid");
+  EXPECT_DOUBLE_EQ(row.at("seconds").at("median").as_double(), 2.0);
+  EXPECT_EQ(row.at("seconds").at("samples").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(row.at("cycles").at("mean").as_double(), 2000.0);
+  EXPECT_EQ(row.at("stats").at("opt_same").as_u64(), 42u);
+  EXPECT_EQ(row.at("values").at("knee").as_u64(), 7u);
+}
+
+TEST(BenchJsonReport, WriteCreatesFileLoadableAsJson) {
+  BenchJsonReport report("write_test");
+  report.add_value("w", "c", "x", json::Value(1));
+  const std::string path = ::testing::TempDir() + "ht_bench_report.json";
+  ASSERT_TRUE(report.write(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  json::Value parsed;
+  EXPECT_TRUE(json::parse(std::string(buf, n > 0 ? n - 1 : 0), parsed));
+}
+
+TEST(JsonPathFromArgs, FindsFlagOrReturnsEmpty) {
+  const char* argv1[] = {"bench", "--json", "out.json"};
+  EXPECT_EQ(json_path_from_args(3, const_cast<char**>(argv1)), "out.json");
+  const char* argv2[] = {"bench"};
+  EXPECT_EQ(json_path_from_args(1, const_cast<char**>(argv2)), "");
+  const char* argv3[] = {"bench", "--json"};  // missing value
+  EXPECT_EQ(json_path_from_args(2, const_cast<char**>(argv3)), "");
 }
 
 }  // namespace

@@ -105,5 +105,45 @@ TEST(TransitionStats, Table2RowAllZeros) {
   EXPECT_NE(row.find("0%"), std::string::npos) << row;
 }
 
+// --- JSON round trip ----------------------------------------------------------
+
+TEST(TransitionStats, JsonRoundTripPreservesEveryCounter) {
+  const TransitionStats original = filled(1000);
+  const std::optional<TransitionStats> back =
+      TransitionStats::from_json(original.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->opt_same, original.opt_same);
+  EXPECT_EQ(back->opt_upgrading, original.opt_upgrading);
+  EXPECT_EQ(back->opt_fence, original.opt_fence);
+  EXPECT_EQ(back->opt_confl_explicit, original.opt_confl_explicit);
+  EXPECT_EQ(back->opt_confl_implicit, original.opt_confl_implicit);
+  EXPECT_EQ(back->pess_uncontended, original.pess_uncontended);
+  EXPECT_EQ(back->pess_reentrant, original.pess_reentrant);
+  EXPECT_EQ(back->pess_contended, original.pess_contended);
+  EXPECT_EQ(back->opt_to_pess, original.opt_to_pess);
+  EXPECT_EQ(back->pess_to_opt, original.pess_to_opt);
+  EXPECT_EQ(back->pess_alone_same, original.pess_alone_same);
+  EXPECT_EQ(back->pess_alone_cross, original.pess_alone_cross);
+  EXPECT_EQ(back->coordination_rounds, original.coordination_rounds);
+  EXPECT_EQ(back->responding_safepoints, original.responding_safepoints);
+  EXPECT_EQ(back->psros, original.psros);
+  EXPECT_EQ(back->region_restarts, original.region_restarts);
+}
+
+TEST(TransitionStats, FromJsonToleratesUnknownAndMissingKeys) {
+  const std::optional<TransitionStats> s = TransitionStats::from_json(
+      "{\"opt_same\":5,\"future_counter\":99}");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->opt_same, 5u);
+  EXPECT_EQ(s->pess_contended, 0u);  // absent keys default to zero
+}
+
+TEST(TransitionStats, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(TransitionStats::from_json("not json").has_value());
+  EXPECT_FALSE(TransitionStats::from_json("[1,2,3]").has_value());
+  EXPECT_FALSE(
+      TransitionStats::from_json("{\"opt_same\":\"five\"}").has_value());
+}
+
 }  // namespace
 }  // namespace ht

@@ -1,0 +1,128 @@
+// trace_export: converts a drained telemetry trace ("HTEL" file, written by
+// tools/workload_run --trace or TelemetrySession + save_trace) into Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing, and prints the
+// Fig-6-style top-N hot-object report.
+//
+//   build/tools/trace_export <trace.bin>                 # JSON to stdout
+//   build/tools/trace_export <trace.bin> --out t.json    # JSON to file
+//   build/tools/trace_export <trace.bin> --check         # validate only
+//   build/tools/trace_export <trace.bin> --top 10        # hot-object report
+//   build/tools/trace_export <trace.bin> --metrics prom  # metrics export
+//
+// Exit codes: 0 OK, 2 usage, 3 trace load failure (the load reason is
+// printed, e.g. "bad-magic"), 4 generated JSON failed validation (a bug in
+// the exporter, never silent), 5 output I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_io.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_export <trace.bin> [--out <file.json>] [--check]"
+               " [--top <n>] [--metrics json|prom]\n");
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  std::string out_path;
+  std::string metrics_format;
+  bool check = false;
+  long top_n = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = std::atol(argv[++i]);
+      if (top_n <= 0) return usage();
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_format = argv[++i];
+      if (metrics_format != "json" && metrics_format != "prom") return usage();
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "trace_export: unknown option '%s'\n", argv[i]);
+      return usage();
+    } else if (in_path.empty()) {
+      in_path = argv[i];
+    } else {
+      std::fprintf(stderr, "trace_export: more than one input file\n");
+      return usage();
+    }
+  }
+  if (in_path.empty()) return usage();
+
+  ht::telemetry::TraceSnapshot snap;
+  const ht::telemetry::TraceLoadResult lr =
+      ht::telemetry::load_trace(in_path, snap);
+  if (lr != ht::telemetry::TraceLoadResult::kOk) {
+    std::fprintf(stderr, "trace_export: %s: %s\n", in_path.c_str(),
+                 ht::telemetry::trace_load_result_name(lr));
+    return 3;
+  }
+
+  const std::string json = ht::telemetry::to_chrome_trace_json(snap);
+
+  if (check) {
+    std::size_t events = 0;
+    std::string error;
+    if (!ht::telemetry::validate_chrome_trace(json, &events, &error)) {
+      std::fprintf(stderr, "trace_export: generated trace invalid: %s\n",
+                   error.c_str());
+      return 4;
+    }
+    std::printf("%s: ok (%llu ring events, %llu dropped, %zu trace events)\n",
+                in_path.c_str(),
+                static_cast<unsigned long long>(snap.total_events()),
+                static_cast<unsigned long long>(snap.total_dropped()), events);
+  }
+
+  if (!metrics_format.empty()) {
+    const ht::telemetry::MetricsRegistry reg =
+        ht::telemetry::aggregate_metrics(snap);
+    const std::string text =
+        metrics_format == "json" ? reg.to_json() : reg.to_prometheus();
+    std::fputs(text.c_str(), stdout);
+    if (metrics_format == "json") std::fputc('\n', stdout);
+  }
+
+  if (top_n > 0) {
+    std::fputs(ht::telemetry::hot_object_report(
+                   snap, static_cast<std::size_t>(top_n))
+                   .c_str(),
+               stdout);
+  }
+
+  if (!out_path.empty()) {
+    if (!write_file(out_path, json)) {
+      std::fprintf(stderr, "trace_export: cannot write %s\n",
+                   out_path.c_str());
+      return 5;
+    }
+  } else if (!check && metrics_format.empty() && top_n == 0) {
+    // Bare invocation: the JSON is the output.
+    std::fputs(json.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}

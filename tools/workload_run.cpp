@@ -1,0 +1,206 @@
+// workload_run: runs one named workload profile under a chosen tracker (or
+// all four), reporting per-trial timings — and, with --trace, performs one
+// additional traced run with a TelemetrySession installed and saves the
+// drained rings as an "HTEL" file for tools/trace_export.
+//
+//   build/tools/workload_run --profile xalan6 --tracker hybrid
+//       --trials 5 --json BENCH_workload_xalan6.json --trace trace.bin
+//
+// With --tracker all, the traced run uses the hybrid tracker. Tracing needs
+// a -DHT_TELEMETRY=ON build; in a default build the tool still runs and
+// writes an empty trace, with a warning. Exit codes: 0 OK, 2 usage (or
+// unknown profile), 5 output I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_io.hpp"
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/ideal_tracker.hpp"
+#include "tracking/optimistic_tracker.hpp"
+#include "tracking/pessimistic_tracker.hpp"
+#include "workload/apis.hpp"
+#include "workload/harness.hpp"
+#include "workload/profiles.hpp"
+
+using namespace ht;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: workload_run --profile <name> "
+               "[--tracker hybrid|optimistic|pessimistic|ideal|all] "
+               "[--trials <n>] [--json <path>] [--trace <path>] "
+               "[--top <n>]\n");
+  return 2;
+}
+
+struct Options {
+  std::string profile;
+  std::string tracker = "hybrid";
+  int trials = 3;
+  std::string json_path;
+  std::string trace_path;
+  long top_n = 0;
+};
+
+// Runs the timed trials for one tracker configuration and adds its row
+// (trial series + merged transition statistics) to the report.
+template <typename Tracker, typename MakeTracker>
+void run_timed(const Options& opt, const WorkloadConfig& cfg,
+               WorkloadData& data, const char* name, MakeTracker&& make,
+               BenchJsonReport& report) {
+  TransitionStats stats;
+  const TrialSeries series = run_trial_series(opt.trials, [&] {
+    Runtime rt;
+    Tracker trk = make(rt);
+    WorkloadRunResult r = run_workload(cfg, data, [&](ThreadId) {
+      return DirectApi<Tracker>(rt, trk);
+    });
+    stats = r.stats;  // steady-state counters of the latest trial
+    return r;
+  });
+  report.add_series(cfg.name, name, series);
+  report.add_stats(cfg.name, name, stats);
+  std::printf("%-12s %-12s median %.4fs  mean %.4fs  ±%.4fs (%d trials)\n",
+              cfg.name, name, series.seconds.median(), series.seconds.mean(),
+              series.seconds.ci95_half_width(), opt.trials);
+}
+
+// One extra run with telemetry installed; saves the drained trace.
+template <typename Tracker, typename MakeTracker>
+int run_traced(const Options& opt, const WorkloadConfig& cfg,
+               WorkloadData& data, const char* name, MakeTracker&& make) {
+  telemetry::TelemetrySession session;
+  RuntimeConfig rc;
+  rc.telemetry = &session;
+  Runtime rt(rc);
+  Tracker trk = make(rt);
+  (void)run_workload(cfg, data, [&](ThreadId) {
+    return DirectApi<Tracker>(rt, trk);
+  });
+  telemetry::TraceSnapshot snap = session.drain();
+  if (!telemetry::save_trace(snap, opt.trace_path)) {
+    std::fprintf(stderr, "workload_run: cannot write %s\n",
+                 opt.trace_path.c_str());
+    return 5;
+  }
+  std::printf("trace: %llu events (%llu dropped) from %zu threads "
+              "[%s/%s] -> %s\n",
+              static_cast<unsigned long long>(snap.total_events()),
+              static_cast<unsigned long long>(snap.total_dropped()),
+              snap.threads.size(), cfg.name, name, opt.trace_path.c_str());
+#if !HT_TELEM_AVAILABLE
+  std::fprintf(stderr,
+               "workload_run: warning: built without -DHT_TELEMETRY=ON; "
+               "the trace records no events\n");
+#endif
+  if (opt.top_n > 0) {
+    std::fputs(telemetry::hot_object_report(
+                   snap, static_cast<std::size_t>(opt.top_n))
+                   .c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+template <typename Tracker, typename MakeTracker>
+int run_tracker(const Options& opt, const WorkloadConfig& cfg,
+                WorkloadData& data, const char* name, MakeTracker&& make,
+                BenchJsonReport& report, bool traced) {
+  run_timed<Tracker>(opt, cfg, data, name, make, report);
+  if (traced && !opt.trace_path.empty()) {
+    return run_traced<Tracker>(opt, cfg, data, name, make);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      opt.profile = argv[++i];
+    } else if (std::strcmp(argv[i], "--tracker") == 0 && i + 1 < argc) {
+      opt.tracker = argv[++i];
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      opt.trials = std::atoi(argv[++i]);
+      if (opt.trials < 1) return usage();
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      opt.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      opt.top_n = std::atol(argv[++i]);
+      if (opt.top_n <= 0) return usage();
+    } else {
+      std::fprintf(stderr, "workload_run: unknown argument '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+  if (opt.profile.empty()) return usage();
+  const bool all = opt.tracker == "all";
+  if (!all && opt.tracker != "hybrid" && opt.tracker != "optimistic" &&
+      opt.tracker != "pessimistic" && opt.tracker != "ideal") {
+    std::fprintf(stderr, "workload_run: unknown tracker '%s'\n",
+                 opt.tracker.c_str());
+    return usage();
+  }
+
+  const double scale = scale_from_env();
+  const WorkloadConfig cfg = profile_by_name(opt.profile.c_str(), scale);
+  WorkloadData data(cfg);
+
+  BenchJsonReport report("workload_run");
+  report.set_meta("profile", json::Value(opt.profile));
+  report.set_meta("tracker", json::Value(opt.tracker));
+  report.set_meta("trials", json::Value(opt.trials));
+  report.set_meta("scale", json::Value(scale));
+  report.set_meta("threads", json::Value(cfg.threads));
+  report.set_meta("ops_per_thread", json::Value(cfg.ops_per_thread));
+  report.set_meta("telemetry_build", json::Value(HT_TELEM_AVAILABLE != 0));
+
+  int rc = 0;
+  // With --tracker all, the traced run (if any) uses hybrid — the paper's
+  // headline configuration.
+  if (all || opt.tracker == "hybrid") {
+    rc = run_tracker<HybridTracker<true>>(
+        opt, cfg, data, "hybrid",
+        [](Runtime& rt) { return HybridTracker<true>(rt, HybridConfig{}); },
+        report, /*traced=*/true);
+    if (rc != 0) return rc;
+  }
+  if (all || opt.tracker == "optimistic") {
+    rc = run_tracker<OptimisticTracker<true>>(
+        opt, cfg, data, "optimistic",
+        [](Runtime& rt) { return OptimisticTracker<true>(rt); }, report,
+        /*traced=*/!all);
+    if (rc != 0) return rc;
+  }
+  if (all || opt.tracker == "pessimistic") {
+    rc = run_tracker<PessimisticTracker<true>>(
+        opt, cfg, data, "pessimistic",
+        [](Runtime& rt) { return PessimisticTracker<true>(rt); }, report,
+        /*traced=*/!all);
+    if (rc != 0) return rc;
+  }
+  if (all || opt.tracker == "ideal") {
+    rc = run_tracker<IdealTracker<true>>(
+        opt, cfg, data, "ideal",
+        [](Runtime& rt) { return IdealTracker<true>(rt); }, report,
+        /*traced=*/!all);
+    if (rc != 0) return rc;
+  }
+
+  if (!opt.json_path.empty()) {
+    if (!report.write(opt.json_path)) return 5;
+    std::printf("json report -> %s\n", opt.json_path.c_str());
+  }
+  return 0;
+}
