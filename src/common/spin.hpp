@@ -16,6 +16,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -65,6 +66,16 @@ inline void cpu_relax() {
 
 class Backoff {
  public:
+  // One planned wait step: what pause() would do next. Exposed so the
+  // escalation sequence (spin -> yield -> doubling jittered sleeps) is unit
+  // testable against a fake clock without actually sleeping.
+  enum class StepKind { kSpin, kYield, kSleep };
+  struct Step {
+    StepKind kind = StepKind::kSpin;
+    int spins = 0;     // kSpin only
+    int sleep_us = 0;  // kSleep only (jitter already applied)
+  };
+
   // spins_before_yield: how many pause-loop rounds before ceding the CPU.
   // The default is small: when the waited-on thread shares the core (our
   // container exposes one), spinning delays the very response being waited
@@ -74,22 +85,55 @@ class Backoff {
   // a few scheduling quanta) finishes while still yielding; responses are
   // then observed with sub-quantum latency and sleeps only trigger against
   // genuinely stalled owners.
-  explicit Backoff(int spins_before_yield = 2, int yields_before_sleep = 64)
+  // max_sleep_us: cap for the doubling sleep tick (lease re-request period).
+  // jitter_seed: nonzero enables ±25% deterministic jitter on each sleep so
+  // multiple coordinators whose leases expired together don't re-request in
+  // lockstep; zero disables jitter (exact doubling, as before).
+  explicit Backoff(int spins_before_yield = 2, int yields_before_sleep = 64,
+                   int max_sleep_us = kDefaultMaxSleepUs,
+                   std::uint32_t jitter_seed = 0)
       : limit_(spins_before_yield),
-        sleep_after_(spins_before_yield + yields_before_sleep) {}
+        sleep_after_(spins_before_yield + yields_before_sleep),
+        max_sleep_us_(max_sleep_us < kMinSleepUs ? kMinSleepUs : max_sleep_us),
+        rng_(jitter_seed) {}
 
-  void pause() {
+  // Computes the next wait step and advances the escalation state, without
+  // performing the wait. pause() == execute(plan()).
+  Step plan() {
+    Step s;
     if (count_ < limit_) {
-      for (int i = 0; i < (1 << count_); ++i) cpu_relax();
+      s.kind = StepKind::kSpin;
+      s.spins = 1 << count_;
       ++count_;
     } else if (count_ < sleep_after_) {
+      s.kind = StepKind::kYield;
       ++count_;
-      std::this_thread::yield();
     } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
-      if (sleep_us_ < kMaxSleepUs) sleep_us_ *= 2;
+      s.kind = StepKind::kSleep;
+      s.sleep_us = jittered(sleep_us_);
+      if (sleep_us_ < max_sleep_us_) {
+        sleep_us_ *= 2;
+        if (sleep_us_ > max_sleep_us_) sleep_us_ = max_sleep_us_;
+      }
+    }
+    return s;
+  }
+
+  static void execute(const Step& s) {
+    switch (s.kind) {
+      case StepKind::kSpin:
+        for (int i = 0; i < s.spins; ++i) cpu_relax();
+        break;
+      case StepKind::kYield:
+        std::this_thread::yield();
+        break;
+      case StepKind::kSleep:
+        std::this_thread::sleep_for(std::chrono::microseconds(s.sleep_us));
+        break;
     }
   }
+
+  void pause() { execute(plan()); }
 
   void reset() {
     count_ = 0;
@@ -102,14 +146,30 @@ class Backoff {
   // True once the yield budget is exhausted and waits are sleep ticks.
   bool sleeping() const { return count_ >= sleep_after_; }
 
- private:
   static constexpr int kMinSleepUs = 20;
-  static constexpr int kMaxSleepUs = 256;
+  static constexpr int kDefaultMaxSleepUs = 256;
+
+ private:
+  // xorshift32; returns sleep_us ±25% when jitter is enabled. Deterministic
+  // in the seed, so tests can predict the full escalation sequence.
+  int jittered(int sleep_us) {
+    if (rng_ == 0) return sleep_us;
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 17;
+    rng_ ^= rng_ << 5;
+    // Map into [-25%, +25%]: quarter = sleep_us/4, offset in [0, 2*quarter].
+    const int quarter = sleep_us / 4;
+    if (quarter == 0) return sleep_us;
+    const int offset = static_cast<int>(rng_ % (2u * quarter + 1u));
+    return sleep_us - quarter + offset;
+  }
 
   int count_ = 0;
   int limit_;
   int sleep_after_;
   int sleep_us_ = kMinSleepUs;
+  int max_sleep_us_;
+  std::uint32_t rng_;
 };
 
 }  // namespace ht

@@ -74,9 +74,18 @@ void FaultInjector::at_slow_path(ThreadId tid) {
   }
 }
 
+// Transient-burst gate for I/O sites: with io_failure_cap set, a site that
+// already fired its quota behaves healthy from then on. The probe still
+// draws from the rng first so the fault *schedule* (which probes would have
+// fired) is identical with and without the cap.
+bool FaultInjector::io_burst_exhausted(FaultSite site) const {
+  return cfg_.io_failure_cap != 0 && fired(site) >= cfg_.io_failure_cap;
+}
+
 bool FaultInjector::fail_open() {
   std::lock_guard<std::mutex> g(io_mu_);
   if (!probe(FaultSite::kIoOpenFail, io_rng_)) return false;
+  if (io_burst_exhausted(FaultSite::kIoOpenFail)) return false;
   count(FaultSite::kIoOpenFail);
   return true;
 }
@@ -84,6 +93,7 @@ bool FaultInjector::fail_open() {
 bool FaultInjector::fail_read() {
   std::lock_guard<std::mutex> g(io_mu_);
   if (!probe(FaultSite::kIoReadFail, io_rng_)) return false;
+  if (io_burst_exhausted(FaultSite::kIoReadFail)) return false;
   count(FaultSite::kIoReadFail);
   return true;
 }
@@ -93,6 +103,7 @@ std::optional<std::size_t> FaultInjector::short_write(std::size_t bytes) {
   if (bytes == 0 || !probe(FaultSite::kIoShortWrite, io_rng_)) {
     return std::nullopt;
   }
+  if (io_burst_exhausted(FaultSite::kIoShortWrite)) return std::nullopt;
   count(FaultSite::kIoShortWrite);
   return static_cast<std::size_t>(io_rng_.next_below(bytes));
 }

@@ -72,6 +72,18 @@ struct FaultConfig {
   std::uint32_t delay_spins = 2'000;  // cpu_relax() count for delay faults
   std::uint32_t stall_polls = 256;    // polls suppressed per kCoordStall
   std::size_t max_thread_slots = 256;
+  // Transient-I/O modeling: when nonzero, each I/O site fires at most this
+  // many times total and then goes quiet — a burst a capped retry outlives
+  // (deterministic with rate 100000: exactly the first N I/O probes fail).
+  // 0 keeps faults firing per rate forever.
+  std::uint32_t io_failure_cap = 0;
+  // Death severity. Default (false): a dead thread stops responding at polls
+  // only — it still answers at PSROs, blocking entries, and coordination
+  // waits, so a run stays live even with the watchdog in kContinue. True
+  // models a PERMANENTLY STUCK thread (DESIGN.md §11): death also freezes
+  // its PSROs and blocking safe points, so whatever it holds stays held and
+  // only the quarantine/seizure path (or fail-fast) can finish the run.
+  bool stuck_death = false;
 
   FaultConfig& enable(FaultSite site, std::uint32_t rate) {
     rate_p100k[static_cast<std::size_t>(site)] = rate;
@@ -115,6 +127,11 @@ class FaultInjector {
   bool thread_dead(ThreadId tid) const;
   // True while `tid` is inside an injected kCoordStall window or dead.
   bool thread_suppressed(ThreadId tid) const;
+  // True when `tid` is dead under the stuck_death model: its PSROs and
+  // blocking safe points are suppressed too (runtime consults this).
+  bool thread_fully_stuck(ThreadId tid) const {
+    return cfg_.stuck_death && thread_dead(tid);
+  }
   std::string summary() const;
 
  private:
@@ -128,6 +145,7 @@ class FaultInjector {
   Slot& slot(ThreadId tid) { return slots_[tid % slots_.size()]; }
   const Slot& slot(ThreadId tid) const { return slots_[tid % slots_.size()]; }
   bool probe(FaultSite site, Xoshiro256& rng);
+  bool io_burst_exhausted(FaultSite site) const;
   void count(FaultSite site) {
     fired_[static_cast<std::size_t>(site)].fetch_add(
         1, std::memory_order_relaxed);

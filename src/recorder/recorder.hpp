@@ -10,8 +10,11 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 
 #include "recorder/dependence_log.hpp"
+#include "recorder/recording_io.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/thread_context.hpp"
 #include "telemetry/telemetry.hpp"
@@ -23,10 +26,15 @@ class DependenceRecorder {
   static constexpr bool kActive = true;
 
   explicit DependenceRecorder(Runtime& rt)
-      : runtime_(&rt), logs_(rt.registry().max_threads()) {}
+      : runtime_(&rt),
+        logs_(rt.registry().max_threads()),
+        sealed_(std::make_unique<std::atomic<bool>[]>(
+            rt.registry().max_threads())),
+        streamed_(rt.registry().max_threads(), 0) {}
 
   // --- sink interface (called by trackers) ------------------------------------
   void edge(ThreadContext& ctx, ThreadId src, std::uint64_t value) {
+    if (sealed_[ctx.id].load(std::memory_order_relaxed)) return;
     logs_[ctx.id].events.push_back(
         LogEvent{ctx.point_index, LogEventType::kEdge, src, value});
     HT_TELEM_EVENT(ctx, kDepEdge, value, src, 0);
@@ -55,11 +63,41 @@ class DependenceRecorder {
   void attach_thread(ThreadContext& ctx) {
     ctx.resp_log_self = this;
     ctx.resp_log_fn = [](void* self, ThreadContext& c) {
-      static_cast<DependenceRecorder*>(self)->logs_[c.id].events.push_back(
+      auto* rec = static_cast<DependenceRecorder*>(self);
+      if (rec->sealed_[c.id].load(std::memory_order_relaxed)) return;
+      rec->logs_[c.id].events.push_back(
           LogEvent{c.point_index, LogEventType::kResponse, kNoThread,
                    c.owner_side.release_counter.load(
                        std::memory_order_relaxed)});
     };
+  }
+
+  // --- resilience hook (DESIGN.md §11.4) ----------------------------------------
+  // Seals a quarantined thread's log: the recorded prefix is frozen (every
+  // entry in it is complete, so the trace lint's invariants hold on it) and
+  // any append a not-yet-parked victim still attempts is dropped. If a
+  // streaming writer is attached, the victim's sealed log is flushed to disk
+  // at a v2 chunk boundary immediately, so a later crash of the degraded run
+  // cannot lose it. Runs on the quarantining thread; safe for concurrent
+  // quarantines of different victims.
+  void on_quarantine(ThreadId victim) {
+    sealed_[victim].store(true, std::memory_order_relaxed);
+    stream_thread(victim);
+  }
+
+  // Optional crash-tolerance stream (not owned; must outlive the recorder).
+  // Chunks appended here are also kept in memory, so take_recording still
+  // returns the full recording; finish_stream() writes everything not yet
+  // streamed plus the trailer.
+  void set_stream_writer(RecordingStreamWriter* w) {
+    std::lock_guard<std::mutex> g(stream_mu_);
+    stream_ = w;
+  }
+  bool finish_stream(ThreadId thread_count) {
+    std::lock_guard<std::mutex> g(stream_mu_);
+    if (stream_ == nullptr) return true;
+    for (ThreadId t = 0; t < thread_count; ++t) stream_thread_locked(t);
+    return stream_->finish();
   }
 
   // --- results -------------------------------------------------------------------
@@ -72,10 +110,34 @@ class DependenceRecorder {
   }
 
   const ThreadLog& log(ThreadId t) const { return logs_[t]; }
+  bool sealed(ThreadId t) const {
+    return sealed_[t].load(std::memory_order_relaxed);
+  }
 
  private:
+  void stream_thread(ThreadId t) {
+    std::lock_guard<std::mutex> g(stream_mu_);
+    stream_thread_locked(t);
+  }
+  void stream_thread_locked(ThreadId t) {
+    if (stream_ == nullptr) return;
+    const auto& events = logs_[t].events;
+    while (streamed_[t] < events.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(events.size() - streamed_[t], 512);
+      if (!stream_->append(t, events.data() + streamed_[t], n)) return;
+      streamed_[t] += n;
+    }
+  }
+
   Runtime* runtime_;
   std::vector<ThreadLog> logs_;
+  // Indexed by thread id; atomic because the victim may still be appending
+  // (pre-park) when the quarantining thread seals it.
+  std::unique_ptr<std::atomic<bool>[]> sealed_;
+  std::mutex stream_mu_;
+  RecordingStreamWriter* stream_ = nullptr;       // guarded by stream_mu_
+  std::vector<std::size_t> streamed_;             // guarded by stream_mu_
 };
 
 }  // namespace ht

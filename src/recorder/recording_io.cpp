@@ -1,9 +1,11 @@
 #include "recorder/recording_io.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -12,6 +14,13 @@
 namespace ht {
 
 namespace {
+
+// Capped exponential backoff between write-retry attempts: 20us, 40us, 80us,
+// ... clamped to 256us (mirrors common/spin.hpp Backoff's sleep range).
+void retry_backoff(std::uint32_t attempt) {
+  const int us = std::min(20 << std::min(attempt, 8u), 256);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
 
 constexpr char kMagic[4] = {'H', 'T', 'R', 'C'};
 constexpr std::uint32_t kTrailerThread = 0xFFFFFFFFu;
@@ -162,18 +171,41 @@ RecordingStreamWriter::~RecordingStreamWriter() {
 
 bool RecordingStreamWriter::write_block(const std::string& bytes) {
   auto* out = static_cast<std::ofstream*>(out_);
-  if (faults_ != nullptr) {
-    if (const auto keep = faults_->short_write(bytes.size())) {
-      out->write(bytes.data(), static_cast<std::streamsize>(*keep));
-      out->flush();
-      ok_ = false;  // torn write: latch failure, leave the prefix on disk
+  const std::ofstream::pos_type block_start = out->tellp();
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const bool last_attempt = attempt + 1 >= max_write_attempts_;
+    if (faults_ != nullptr) {
+      if (const auto keep = faults_->short_write(bytes.size())) {
+        if (!last_attempt) {
+          // Transient tear: rewind to the block start and retry after a
+          // capped backoff, so the failed attempt leaves nothing on disk.
+          out->clear();
+          out->seekp(block_start);
+          retry_backoff(attempt);
+          continue;
+        }
+        // Retries exhausted: model the crash — the torn prefix stays on
+        // disk (still a loadable valid prefix) and the failure latches.
+        out->write(bytes.data(), static_cast<std::streamsize>(*keep));
+        out->flush();
+        ok_ = false;
+        return false;
+      }
+    }
+    out->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out->flush();
+    if (out->good()) {
+      ok_ = true;
+      return true;
+    }
+    if (last_attempt) {
+      ok_ = false;
       return false;
     }
+    out->clear();
+    out->seekp(block_start);
+    retry_backoff(attempt);
   }
-  out->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out->flush();
-  ok_ = out->good();
-  return ok_;
 }
 
 bool RecordingStreamWriter::append(ThreadId thread, const LogEvent* events,
@@ -214,6 +246,10 @@ bool save_recording(const Recording& recording, const std::string& path,
                     FaultInjector* faults) {
   RecordingStreamWriter w(
       path, static_cast<std::uint32_t>(recording.threads.size()), faults);
+  // One-shot semantics: a whole-file save has no live run to keep alive, so
+  // an injected tear fails it immediately (the fault-schedule tests depend
+  // on this); write retries are the *streaming* path's hardening.
+  w.set_max_write_attempts(1);
   if (!w.ok()) return false;
   for (std::size_t t = 0; t < recording.threads.size(); ++t) {
     const auto& events = recording.threads[t].events;

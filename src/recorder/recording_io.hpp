@@ -64,15 +64,29 @@ struct RecordingLoadResult {
 
 // Streaming v2 writer: header at construction, one checksummed chunk per
 // append (flushed through the stream so a crash loses at most the chunk
-// being written), trailer at finish(). Any failure latches: subsequent calls
-// return false without writing.
+// being written), trailer at finish().
+//
+// Transient-failure hardening (DESIGN.md §11.4): a torn or failed block
+// write is retried up to max_write_attempts times with a capped backoff —
+// the stream is rewound to the block start first, so a retried tear never
+// leaves partial bytes on disk. Only after the retries are exhausted does
+// the failure latch (the torn prefix stays on disk, still loadable as a
+// valid-prefix salvage); from then on every call returns false.
 class RecordingStreamWriter {
  public:
+  static constexpr std::uint32_t kDefaultWriteAttempts = 4;
+
   RecordingStreamWriter(const std::string& path, std::uint32_t thread_count,
                         FaultInjector* faults = nullptr);
   ~RecordingStreamWriter();
   RecordingStreamWriter(const RecordingStreamWriter&) = delete;
   RecordingStreamWriter& operator=(const RecordingStreamWriter&) = delete;
+
+  // 1 disables retrying (every failure latches immediately, the pre-§11
+  // behavior); 0 is clamped to 1.
+  void set_max_write_attempts(std::uint32_t n) {
+    max_write_attempts_ = n == 0 ? 1 : n;
+  }
 
   bool ok() const { return ok_; }
   bool append(ThreadId thread, const LogEvent* events, std::size_t count);
@@ -86,6 +100,7 @@ class RecordingStreamWriter {
   std::uint32_t thread_count_;
   bool ok_;
   bool finished_ = false;
+  std::uint32_t max_write_attempts_ = kDefaultWriteAttempts;
   FaultInjector* faults_;
 };
 

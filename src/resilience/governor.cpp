@@ -1,0 +1,70 @@
+#include "resilience/governor.hpp"
+
+#include "runtime/thread_context.hpp"
+
+namespace ht::resilience {
+
+bool ResilienceGovernor::note_window(const WindowSample& w,
+                                     ThreadContext* ctx) {
+  const bool storm = is_storm(w);
+  bool flipped = false;
+  if (storm) {
+    calm_run_ = 0;
+    ++storm_run_;
+    ++storm_windows_total_;
+    if (!degraded_ && storm_run_ >= cfg_.storm_windows_to_degrade) {
+      degraded_ = true;
+      flipped = true;
+    }
+  } else {
+    storm_run_ = 0;
+    ++calm_run_;
+    ++calm_windows_total_;
+    if (degraded_ && calm_run_ >= cfg_.calm_windows_to_recover) {
+      degraded_ = false;
+      flipped = true;
+    }
+  }
+  if (flipped) {
+    ++flips_;
+    if (policy_ != nullptr) policy_->set_degraded(degraded_);
+    if (ctx != nullptr) {
+      HT_TELEM_EVENT(*ctx, kGovernorFlip, degraded_ ? 1 : 0,
+                     storm_windows_total_, calm_windows_total_);
+    }
+  }
+  return flipped;
+}
+
+WindowSample window_from_snapshot(const telemetry::TraceSnapshot& snap) {
+  WindowSample w;
+  for (const telemetry::ThreadTrace& t : snap.threads) {
+    for (const telemetry::Event& e : t.events) {
+      switch (static_cast<telemetry::EventKind>(e.kind)) {
+        case telemetry::EventKind::kCoordRoundTrip:
+          ++w.coord_round_trips;
+          if (e.arg2 == 0) ++w.explicit_round_trips;
+          w.coord_cycles_total += e.arg0;
+          break;
+        case telemetry::EventKind::kPessWait:
+          ++w.pess_waits;
+          w.pess_wait_cycles_total += e.arg0;
+          break;
+        case telemetry::EventKind::kRegionRestart:
+          ++w.region_restarts;
+          break;
+        case telemetry::EventKind::kLeaseExpired:
+          ++w.lease_expiries;
+          break;
+        case telemetry::EventKind::kQuarantine:
+          ++w.quarantines;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace ht::resilience

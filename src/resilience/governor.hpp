@@ -1,0 +1,98 @@
+// Degradation governor (DESIGN.md §11.3): consumes the telemetry the runtime
+// already exports (coordination round-trip and pessimistic-wait latencies,
+// region restarts, lease expiries) in fixed observation windows and flips the
+// adaptive policy's global degraded bit — toward pessimistic tracking under a
+// coordination storm, back once the system has stayed calm.
+//
+// The hysteresis mirrors the paper's §6 Inertia term: just as a pessimistic
+// object needs Inertia extra non-conflicting transitions before the
+// per-object policy trusts it optimistic again, the governor requires
+// `calm_windows_to_recover` consecutive calm windows (default 8, several
+// times the 2-window degrade trigger) before undoing a degradation, so a
+// storm that flickers cannot make the global mode thrash.
+#pragma once
+
+#include <cstdint>
+
+#include "telemetry/telemetry.hpp"
+#include "tracking/adaptive_policy.hpp"
+
+namespace ht {
+struct ThreadContext;
+}
+
+namespace ht::resilience {
+
+// One observation window's worth of coordination-health signals, either
+// aggregated from a telemetry snapshot (window_from_snapshot) or assembled
+// directly by tests / embedders.
+struct WindowSample {
+  std::uint64_t coord_round_trips = 0;
+  std::uint64_t explicit_round_trips = 0;  // subset needing explicit waits
+  std::uint64_t coord_cycles_total = 0;
+  std::uint64_t pess_waits = 0;
+  std::uint64_t pess_wait_cycles_total = 0;
+  std::uint64_t region_restarts = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t quarantines = 0;
+};
+
+struct GovernorConfig {
+  // A window is a storm when any of:
+  //   * a lease expired or a thread was quarantined,
+  //   * region restarts reached storm_restarts,
+  //   * the mean explicit round trip (or pessimistic wait), over at least
+  //     min_samples events, reached storm_mean_cycles.
+  std::uint64_t storm_mean_cycles = 1'000'000;
+  std::uint64_t storm_restarts = 64;
+  std::uint64_t min_samples = 16;
+  // Hysteresis (§6 Inertia analogue): consecutive windows required to move.
+  std::uint32_t storm_windows_to_degrade = 2;
+  std::uint32_t calm_windows_to_recover = 8;
+};
+
+class ResilienceGovernor {
+ public:
+  explicit ResilienceGovernor(AdaptivePolicy* policy, GovernorConfig cfg = {})
+      : policy_(policy), cfg_(cfg) {}
+
+  const GovernorConfig& config() const { return cfg_; }
+  bool degraded() const { return degraded_; }
+  std::uint32_t flips() const { return flips_; }
+  std::uint64_t storm_windows_total() const { return storm_windows_total_; }
+  std::uint64_t calm_windows_total() const { return calm_windows_total_; }
+
+  bool is_storm(const WindowSample& w) const {
+    if (w.quarantines > 0 || w.lease_expiries > 0) return true;
+    if (w.region_restarts >= cfg_.storm_restarts) return true;
+    if (w.explicit_round_trips >= cfg_.min_samples &&
+        w.coord_round_trips > 0 &&
+        w.coord_cycles_total / w.coord_round_trips >= cfg_.storm_mean_cycles) {
+      return true;
+    }
+    if (w.pess_waits >= cfg_.min_samples &&
+        w.pess_wait_cycles_total / w.pess_waits >= cfg_.storm_mean_cycles) {
+      return true;
+    }
+    return false;
+  }
+
+  // Feeds one window; returns true when the global mode flipped. `ctx` (may
+  // be null) receives the kGovernorFlip telemetry event.
+  bool note_window(const WindowSample& w, ThreadContext* ctx = nullptr);
+
+ private:
+  AdaptivePolicy* policy_;
+  GovernorConfig cfg_;
+  bool degraded_ = false;
+  std::uint32_t storm_run_ = 0;  // consecutive storm windows
+  std::uint32_t calm_run_ = 0;   // consecutive calm windows
+  std::uint32_t flips_ = 0;
+  std::uint64_t storm_windows_total_ = 0;
+  std::uint64_t calm_windows_total_ = 0;
+};
+
+// Aggregates a drained telemetry snapshot into one window sample.
+WindowSample window_from_snapshot(const telemetry::TraceSnapshot& snap);
+
+}  // namespace ht::resilience

@@ -29,7 +29,16 @@ void Runtime::unregister_thread(ThreadContext& ctx) {
   // other threads' conservative current-counter edges cover this thread's
   // final accesses. The replayer mirrors this bump at thread end
   // (deterministic, so it is not logged).
-  ctx.run_flush_hook();
+  //
+  // A quarantined thread must NOT flush: its buffered locks point at state
+  // words survivors already seized — drop them instead.
+  if (ctx.quarantined_self || thread_quarantined(ctx.id)) {
+    ctx.quarantined_self = true;
+    ctx.lock_buffer.clear();
+    ctx.rd_set.clear();
+  } else {
+    ctx.run_flush_hook();
+  }
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
   HT_TELEM_EVENT(ctx, kThreadExit, ctx.release_counter_relaxed(), 0, 0);
   registry_.mark_exited(ctx);
@@ -44,7 +53,13 @@ void Runtime::unregister_thread(ThreadContext& ctx) {
 void Runtime::psro(ThreadContext& ctx) {
   HT_ASSERT(!ctx.in_region, "PSRO inside an SBRS region");
   ++ctx.point_index;
+  // Under the stuck_death fault model a dead thread reaches no further safe
+  // point of any flavor: no flush, no lease renewal, no response. Its
+  // deferred locks therefore stay stuck — which is what lets the watchdog
+  // see the stall and the sweep reclaim them (DESIGN.md §11).
+  if (injector_ != nullptr && injector_->thread_fully_stuck(ctx.id)) return;
   ++ctx.stats.psros;
+  renew_lease(ctx);
   ctx.run_flush_hook();
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
   HT_TELEM_EVENT(ctx, kPsro, ctx.release_counter_relaxed(), 0, 0);
@@ -84,17 +99,32 @@ void Runtime::slow_path_fault(ThreadContext& ctx) {
 void Runtime::begin_blocking(ThreadContext& ctx) {
   HT_ASSERT(!ctx.in_region, "blocking operation inside an SBRS region");
   std::uint64_t s = ctx.owner_side.status.load(std::memory_order_relaxed);
+  if (ThreadStatus::is_quarantined(s)) quarantined_self_park(ctx);
   HT_ASSERT(!ThreadStatus::is_blocked(s), "begin_blocking while blocked");
+  // stuck_death: the thread parks on the program primitive without ever
+  // publishing BLOCKED (or flushing), so coordination against it must go the
+  // explicit route and stall — survivors see a stuck peer, not a parked one.
+  // Death only flips at poll probes, so it cannot change between this check
+  // and the matching end_blocking's.
+  if (injector_ != nullptr && injector_->thread_fully_stuck(ctx.id)) return;
   // Blocking is a responding safe point (§2.2): flush and bump BEFORE
   // publishing BLOCKED, so implicit coordinators find no held locks and read
   // a counter value covering all our prior accesses.
+  renew_lease(ctx);
   ctx.run_flush_hook();
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
   ++ctx.stats.responding_safepoints;
   HT_TELEM_EVENT(ctx, kBlockingEnter, ctx.release_counter_relaxed(), 0, 0);
   ctx.run_resp_log_hook();
-  ctx.owner_side.status.store(s | ThreadStatus::kBlockedBit,
-                              std::memory_order_release);
+  // Publish BLOCKED with a CAS: a concurrent quarantine_thread may have
+  // flipped the status since we loaded it, and a plain store would clobber
+  // the terminal Quarantined word. Only quarantine can intervene here — no
+  // requester CASes a non-blocked status — so one failure is conclusive.
+  while (!ctx.owner_side.status.compare_exchange_weak(
+      s, s | ThreadStatus::kBlockedBit, std::memory_order_release,
+      std::memory_order_relaxed)) {
+    if (ThreadStatus::is_quarantined(s)) quarantined_self_park(ctx);
+  }
   // Stragglers that ticketed before observing BLOCKED: satisfied by the
   // flush above; just publish the watermark.
   const std::uint64_t req =
@@ -106,9 +136,19 @@ void Runtime::begin_blocking(ThreadContext& ctx) {
 
 void Runtime::end_blocking(ThreadContext& ctx) {
   // Requesters may be CASing the epoch up concurrently; loop until our
-  // RUNNING transition lands.
+  // RUNNING transition lands. A late-waking thread that was quarantined
+  // while parked observes the terminal bit here and must never CAS itself
+  // back to running — it self-parks instead (the quarantine CAS contract).
   std::uint64_t s = ctx.owner_side.status.load(std::memory_order_relaxed);
+  // stuck_death: the matching begin_blocking never published BLOCKED (same
+  // check; death is stable between the two), so there is nothing to undo —
+  // but a quarantine that landed meanwhile still parks us.
+  if (injector_ != nullptr && injector_->thread_fully_stuck(ctx.id)) {
+    if (ThreadStatus::is_quarantined(s)) quarantined_self_park(ctx);
+    return;
+  }
   for (;;) {
+    if (ThreadStatus::is_quarantined(s)) quarantined_self_park(ctx);
     HT_DASSERT(ThreadStatus::is_blocked(s), "end_blocking while running");
     const std::uint64_t running =
         ThreadStatus::make(ThreadStatus::epoch(s) + 1, /*blocked=*/false);
@@ -118,19 +158,67 @@ void Runtime::end_blocking(ThreadContext& ctx) {
       break;
     }
   }
+  renew_lease(ctx);
   HT_TELEM_EVENT(ctx, kBlockingExit, ctx.release_counter_relaxed(), 0, 0);
   // Wake-up is a responding safe point for requests that arrived while we
   // were parked but whose senders did not use implicit coordination.
   if (ctx.requests_pending()) respond(ctx);
 }
 
+void Runtime::quarantined_self_park(ThreadContext& ctx) {
+  ctx.quarantined_self = true;
+  // Owned per-object states were (or are being) seized via the Int
+  // protocol; the buffered locks are no longer ours to unlock. Drop them.
+  ctx.lock_buffer.clear();
+  ctx.rd_set.clear();
+  throw ThreadQuarantined{ctx.id};
+}
+
+bool Runtime::quarantine_thread(ThreadContext& self, ThreadId victim) {
+  HT_ASSERT(victim != self.id, "self-quarantine");
+  ThreadContext& remote = registry_.context(victim);
+  std::uint64_t st = remote.owner_side.status.load(std::memory_order_acquire);
+  if (ThreadStatus::is_quarantined(st) ||
+      remote.exited.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const std::uint64_t q =
+      ThreadStatus::make_quarantined(ThreadStatus::epoch(st) + 1);
+  if (!remote.owner_side.status.compare_exchange_strong(
+          st, q, std::memory_order_acq_rel, std::memory_order_acquire)) {
+    // The victim's status moved under us — its lease was effectively
+    // renewed, so the quarantine is off. The caller rearms its stall clock.
+    return false;
+  }
+  quarantined_count_.fetch_add(1, std::memory_order_acq_rel);
+  // Release every waiter with an issued ticket. The state handoff a flush
+  // would have performed happens through seizure instead (the on_quarantine
+  // hook, or each survivor's lazy seizure of Int/locked states). CAS-max so
+  // a concurrent straggler store by the not-yet-parked victim cannot move
+  // the watermark backwards past us.
+  const std::uint64_t req =
+      remote.requester_side.request_tickets.load(std::memory_order_acquire);
+  std::uint64_t wm =
+      remote.owner_side.response_watermark.load(std::memory_order_relaxed);
+  while (wm < req &&
+         !remote.owner_side.response_watermark.compare_exchange_weak(
+             wm, req, std::memory_order_release, std::memory_order_relaxed)) {
+  }
+  HT_TELEM_EVENT(self, kQuarantine, victim, ThreadStatus::epoch(q), req);
+  if (cfg_.resilience.on_quarantine) {
+    cfg_.resilience.on_quarantine(self, remote);
+  }
+  return true;
+}
+
 namespace {
 
 // Owner-progress fingerprint for the watchdog. Any change — a poll, a
-// release-counter bump, a status transition, a watermark advance — counts as
-// progress and resets the stall clock.
+// heartbeat, a release-counter bump, a status transition, a watermark
+// advance — counts as progress and resets the stall clock.
 struct ProgressFingerprint {
   std::uint64_t last_poll = 0;
+  std::uint64_t heartbeat = 0;
   std::uint64_t release_counter = 0;
   std::uint64_t status = 0;
   std::uint64_t watermark = 0;
@@ -139,6 +227,7 @@ struct ProgressFingerprint {
 
   static ProgressFingerprint of(const ThreadContext& t) {
     return {t.owner_side.last_poll.load(std::memory_order_relaxed),
+            t.owner_side.heartbeat.load(std::memory_order_relaxed),
             t.owner_side.release_counter.load(std::memory_order_relaxed),
             t.owner_side.status.load(std::memory_order_relaxed),
             t.owner_side.response_watermark.load(std::memory_order_relaxed)};
@@ -176,7 +265,11 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
       1;
   const WatchdogConfig& wd = cfg_.watchdog;
   const bool police = max_epochs == 0 && wd.enabled;
-  Backoff backoff;
+  // Jitter the sleep ticks by requester id: coordinators whose leases on the
+  // same stalled owner expire together must not re-request in lockstep.
+  Backoff backoff(/*spins_before_yield=*/2, /*yields_before_sleep=*/64,
+                  wd.backoff_max_sleep_us,
+                  /*jitter_seed=*/0x9E3779B9u * (self.id + 1));
   std::uint64_t epochs = 0;
   std::uint64_t stalled_epochs = 0;
   std::uint32_t dumps = 0;
@@ -217,6 +310,9 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
         last = now;
         stalled_epochs = 0;
       } else if (++stalled_epochs >= wd.stall_epochs) {
+        // The owner's liveness lease expired: a full stall window passed
+        // with no heartbeat, poll, response, or status movement.
+        HT_TELEM_EVENT(self, kLeaseExpired, owner, ticket, stalled_epochs);
         CoordStallDiagnostic diag = build_stall_diagnostic(
             self, remote, ticket, epochs, stalled_epochs);
         if (dumps < wd.max_dumps) {
@@ -226,7 +322,15 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
         if (wd.on_stall == WatchdogConfig::OnStall::kFailFast) {
           throw CoordinationStalled{std::move(diag)};
         }
-        stalled_epochs = 0;  // kContinue: rearm the stall clock
+        if (wd.on_stall == WatchdogConfig::OnStall::kQuarantine) {
+          // Escalate: flip the silent owner to terminal Quarantined.
+          // Success publishes its watermark past our ticket (the next loop
+          // iteration returns); failure proves the owner progressed after
+          // the fingerprint was taken, so rearming the clock is correct.
+          quarantine_thread(self, owner);
+          last = ProgressFingerprint::of(remote);
+        }
+        stalled_epochs = 0;  // kContinue/kQuarantine: rearm the stall clock
       }
     }
   }
@@ -262,9 +366,11 @@ ThreadLivenessSample Runtime::sample_thread(ThreadId id) const {
   const std::uint64_t status =
       t.owner_side.status.load(std::memory_order_acquire);
   s.blocked = ThreadStatus::is_blocked(status);
+  s.quarantined = ThreadStatus::is_quarantined(status);
   s.exited = t.exited.load(std::memory_order_relaxed);
   s.status_epoch = ThreadStatus::epoch(status);
   s.last_poll = t.owner_side.last_poll.load(std::memory_order_relaxed);
+  s.heartbeat = t.owner_side.heartbeat.load(std::memory_order_relaxed);
   s.release_counter =
       t.owner_side.release_counter.load(std::memory_order_relaxed);
   s.request_tickets =
@@ -308,10 +414,16 @@ void Runtime::emit_stall_diagnostic(const CoordStallDiagnostic& diag) const {
 namespace {
 
 void append_sample(std::ostringstream& out, const ThreadLivenessSample& s) {
+  // Status first (the stalled thread's current ThreadStatus), then where it
+  // stopped responding: its last poll site and last heartbeat epoch.
   out << "T" << s.id << ": "
-      << (s.exited ? "exited" : s.blocked ? "blocked" : "running")
-      << " last_poll=" << s.last_poll << " release=" << s.release_counter
-      << " epoch=" << s.status_epoch << " pending=" << s.pending_requests()
+      << (s.exited        ? "exited"
+          : s.quarantined ? "quarantined"
+          : s.blocked     ? "blocked"
+                          : "running")
+      << " last_poll=" << s.last_poll << " heartbeat=" << s.heartbeat
+      << " release=" << s.release_counter << " epoch=" << s.status_epoch
+      << " pending=" << s.pending_requests()
       << " (tickets=" << s.request_tickets
       << " watermark=" << s.response_watermark << ")";
 }

@@ -52,9 +52,11 @@ class TelemetrySession;
 struct ThreadLivenessSample {
   ThreadId id = kNoThread;
   bool blocked = false;
+  bool quarantined = false;
   bool exited = false;
   std::uint64_t status_epoch = 0;
   std::uint64_t last_poll = 0;         // point index at its last poll
+  std::uint64_t heartbeat = 0;         // liveness-lease epoch
   std::uint64_t release_counter = 0;
   std::uint64_t request_tickets = 0;
   std::uint64_t response_watermark = 0;
@@ -97,20 +99,36 @@ struct WatchdogConfig {
   std::uint64_t stall_epochs = 4096;
   // What a confirmed stall does after the diagnostic is emitted.
   enum class OnStall : std::uint8_t {
-    kContinue,  // keep waiting; re-diagnose every stall_epochs of silence
-    kFailFast,  // throw CoordinationStalled
+    kContinue,    // keep waiting; re-diagnose every stall_epochs of silence
+    kFailFast,    // throw CoordinationStalled
+    kQuarantine,  // flip the owner to terminal Quarantined and proceed
   };
   OnStall on_stall = OnStall::kContinue;
   // Max diagnostics emitted per coordinate() call under kContinue (the wait
   // may legitimately outlive many windows; don't storm the sink).
   std::uint32_t max_dumps = 2;
+  // Sleep-tick cap for the explicit-wait backoff — the lease re-request
+  // period once a wait has escalated past yielding. Mirrors
+  // Backoff::kDefaultMaxSleepUs.
+  int backoff_max_sleep_us = 256;
   // Diagnostic sink; nullptr means "write to stderr".
   std::function<void(const CoordStallDiagnostic&)> sink;
+};
+
+// Hooks for the self-healing layer (src/resilience/). on_quarantine runs on
+// the quarantining thread immediately after the victim's status flipped to
+// Quarantined and its waiters were released; the standard wiring
+// (resilience::QuarantineSweep) seizes every state word the victim still
+// owns and seals its recorder log so the recording stays loadable.
+struct ResilienceConfig {
+  std::function<void(ThreadContext& self, ThreadContext& victim)>
+      on_quarantine;
 };
 
 struct RuntimeConfig {
   std::size_t max_threads = 64;
   WatchdogConfig watchdog;
+  ResilienceConfig resilience;
   // Optional fault injector (not owned; must outlive the Runtime). When
   // null — the default — every injection site compiles down to one branch.
   FaultInjector* fault_injector = nullptr;
@@ -159,12 +177,22 @@ class Runtime {
   // inside an SBRS region (two-phase locking, §5.1).
   void poll(ThreadContext& ctx) {
     ++ctx.point_index;
+    // Quarantine self-check comes BEFORE fault suppression: a stuck thread
+    // whose polls are suppressed (injected death) must still observe its own
+    // quarantine at the next poll it executes and park rather than keep
+    // running against seized state words.
+    if (ThreadStatus::is_quarantined(
+            ctx.owner_side.status.load(std::memory_order_acquire))) {
+      quarantined_self_park(ctx);  // throws ThreadQuarantined
+    }
     // A suppressed poll models a thread that never reached this safe point
     // (stalled in a long computation, or dead): nothing observable happens —
-    // in particular last_poll stays frozen so the watchdog sees the stall.
+    // in particular last_poll and the heartbeat stay frozen so the watchdog
+    // sees the stall and the liveness lease expires.
     if (injector_ != nullptr && poll_fault_suppressed(ctx)) return;
     ctx.owner_side.last_poll.store(ctx.point_index,
                                    std::memory_order_relaxed);
+    renew_lease(ctx);
     if (!ctx.in_region && ctx.requests_pending()) respond(ctx);
   }
 
@@ -174,6 +202,15 @@ class Runtime {
   // suppresses these responses: a thread stuck waiting is exactly the thread
   // that must keep answering others (deadlock freedom, Fig 1 line 18).
   void respond_while_waiting(ThreadContext& ctx) {
+    // A waiting thread renews its own liveness lease (it IS alive — it keeps
+    // answering others), and checks for its own quarantine before touching
+    // tracker state again: if survivors seized our locks while we waited,
+    // responding would race the seizure.
+    renew_lease(ctx);
+    if (ThreadStatus::is_quarantined(
+            ctx.owner_side.status.load(std::memory_order_acquire))) {
+      quarantined_self_park(ctx);  // throws ThreadQuarantined
+    }
     if (ctx.requests_pending()) {
       respond(ctx);
       if (ctx.restart_requested) {
@@ -226,11 +263,58 @@ class Runtime {
   // states, paper footnote 4). Returns true if any round trip was explicit.
   bool coordinate_all_others(ThreadContext& self);
 
+  // --- quarantine (resilience layer) -------------------------------------------
+  // Attempts to flip `victim` to the terminal Quarantined status with a
+  // single CAS against its last observed status word; failure means the
+  // victim made progress in the meantime and must NOT be quarantined. On
+  // success all of the victim's current waiters are released (watermark
+  // published past every issued ticket) and the on_quarantine hook runs on
+  // the calling thread. Idempotent: false for an already-quarantined or
+  // exited victim.
+  bool quarantine_thread(ThreadContext& self, ThreadId victim);
+
+  bool thread_quarantined(ThreadId id) const {
+    return ThreadStatus::is_quarantined(
+        registry_.context(id).owner_side.status.load(
+            std::memory_order_acquire));
+  }
+  // Cheap global flag consulted by tracker slow paths: when nonzero,
+  // lock-buffer flushes tolerate entries whose states were seized.
+  bool has_quarantined() const {
+    return quarantined_count_.load(std::memory_order_acquire) != 0;
+  }
+  std::uint32_t quarantined_count() const {
+    return quarantined_count_.load(std::memory_order_acquire);
+  }
+
+  // Victim-side quarantine observation: drop (never flush) the lock buffer
+  // and read set — survivors own those states now — and unwind. Public so
+  // tracker landings that lose their Int CAS to a seizure can park directly.
+  [[noreturn]] void quarantined_self_park(ThreadContext& ctx);
+
+  // Tracker slow paths call this before acquiring NEW ownership (a lock CAS
+  // or an Int entry). A quarantined victim that raced past its last poll
+  // must not lock fresh states: the sweep has already run, so anything it
+  // locks now would leak until some survivor happens to touch it. Between
+  // this check and the acquiring CAS there is no scheduling point, so under
+  // the virtual scheduler the window is fully closed.
+  void check_self_quarantine(ThreadContext& ctx) {
+    if (has_quarantined() && thread_quarantined(ctx.id)) {
+      quarantined_self_park(ctx);
+    }
+  }
+
   // --- diagnostics -------------------------------------------------------------
   ThreadLivenessSample sample_thread(ThreadId id) const;
   std::vector<ThreadLivenessSample> sample_all_threads() const;
 
  private:
+  // Publishes the thread's liveness-lease heartbeat (owner-side, relaxed).
+  static void renew_lease(ThreadContext& ctx) {
+    ctx.owner_side.heartbeat.store(++ctx.heartbeat,
+                                   std::memory_order_relaxed);
+  }
+
   // Responding safe point body; precondition: requests pending (or forced).
   void respond(ThreadContext& ctx);
 
@@ -258,6 +342,7 @@ class Runtime {
   ThreadRegistry registry_;
   FaultInjector* injector_;
   std::atomic<std::uint32_t> g_rd_sh_counter_{1};
+  std::atomic<std::uint32_t> quarantined_count_{0};
 };
 
 }  // namespace ht

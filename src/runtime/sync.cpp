@@ -20,7 +20,16 @@ void ProgramLock::acquire(ThreadContext& ctx) {
   } else {
     mu_.lock();
   }
-  rt.end_blocking(ctx);
+  try {
+    rt.end_blocking(ctx);
+  } catch (...) {
+    // Quarantined while parked (ThreadQuarantined unwinds us): the mutex is
+    // already ours and no release(ctx) will ever run, so drop it raw here or
+    // every healthy thread wedges on it. Invariant: a throwing acquire never
+    // leaves the lock held.
+    mu_.unlock();
+    throw;
+  }
   HT_TSAN_ACQUIRE(this);
 }
 

@@ -32,18 +32,33 @@ namespace telemetry {
 class EventRing;
 }  // namespace telemetry
 
-// Thread status word: bit 0 = blocked, bits 1.. = epoch. A requester that
-// finds the blocked bit set CASes the epoch up; success proves the owner is
-// parked at a blocking safe point (with its lock buffer already flushed), so
-// the requester may proceed immediately — the paper's implicit coordination.
+// Thread status word: bit 0 = blocked, bit 1 = quarantined, bits 2.. =
+// epoch. A requester that finds the blocked bit set CASes the epoch up;
+// success proves the owner is parked at a blocking safe point (with its lock
+// buffer already flushed), so the requester may proceed immediately — the
+// paper's implicit coordination.
+//
+// Quarantine (resilience layer) is a *terminal* status: the quarantine bit
+// implies the blocked bit, so every implicit-coordination CAS against a
+// quarantined thread succeeds immediately, and bump_epoch preserves both
+// bits. The bit is only ever set by Runtime::quarantine_thread via a CAS
+// racing the victim's own status transitions; a late-waking victim observes
+// it and self-parks (throws ThreadQuarantined) at its next safe point.
 struct ThreadStatus {
   static constexpr std::uint64_t kBlockedBit = 1;
+  static constexpr std::uint64_t kQuarantineBit = 2;
 
   static bool is_blocked(std::uint64_t s) { return (s & kBlockedBit) != 0; }
-  static std::uint64_t epoch(std::uint64_t s) { return s >> 1; }
-  static std::uint64_t bump_epoch(std::uint64_t s) { return s + 2; }
+  static bool is_quarantined(std::uint64_t s) {
+    return (s & kQuarantineBit) != 0;
+  }
+  static std::uint64_t epoch(std::uint64_t s) { return s >> 2; }
+  static std::uint64_t bump_epoch(std::uint64_t s) { return s + 4; }
   static std::uint64_t make(std::uint64_t ep, bool blocked) {
-    return (ep << 1) | (blocked ? kBlockedBit : 0);
+    return (ep << 2) | (blocked ? kBlockedBit : 0);
+  }
+  static std::uint64_t make_quarantined(std::uint64_t ep) {
+    return (ep << 2) | kBlockedBit | kQuarantineBit;
   }
 };
 
@@ -115,6 +130,19 @@ class ThreadContext {
   // from "blocked at a program operation".
   std::atomic<bool> exited{false};
 
+  // Set (by the victim itself) once it has observed its own quarantine bit
+  // and self-parked. Purely an owner-thread flag consulted on the unwind
+  // path (flush gating, unregister) — cross-thread readers use the status
+  // word's quarantine bit instead.
+  bool quarantined_self = false;
+
+  // Liveness-lease heartbeat: bumped at every poll, PSRO, and blocking
+  // boundary, mirrored into owner_side.heartbeat. Unlike last_poll (a mirror
+  // of point_index, which freezes inside long waits), the heartbeat also
+  // advances from respond_while_waiting, so a thread stuck *waiting* on a
+  // genuinely stalled peer still renews its own lease.
+  std::uint64_t heartbeat = 0;
+
   // --- shared coordination state (padded; written/read across threads) --------
   // status + response_watermark + release_counter: written by owner, read by
   // requesters. request_tickets: written by requesters, read by owner.
@@ -126,6 +154,8 @@ class ThreadContext {
     // watchdog can sample owner liveness without racing on the non-atomic
     // point_index. Stale-but-unchanging last_poll is the stall signal.
     std::atomic<std::uint64_t> last_poll{0};
+    // Liveness-lease heartbeat epoch (see ThreadContext::heartbeat).
+    std::atomic<std::uint64_t> heartbeat{0};
   } owner_side;
   struct alignas(kCacheLine) RequesterSide {
     std::atomic<std::uint64_t> request_tickets{0};
@@ -155,5 +185,15 @@ class ThreadContext {
 // Exception unwinding a region that responded to a coordination request
 // mid-execution (paper §5: regions restart after responding).
 struct RegionRestart {};
+
+// Exception unwinding a thread that observed its own quarantine bit at a
+// safe point. The thread's owned object states have been (or are being)
+// seized by survivors; it must not touch tracker metadata again. Thrown
+// from Runtime::poll / end_blocking / respond_while_waiting, caught by the
+// thread body (workload harness, explorer run_thread), which unregisters
+// the context and parks the OS thread.
+struct ThreadQuarantined {
+  ThreadId tid = kNoThread;
+};
 
 }  // namespace ht

@@ -30,6 +30,7 @@ void ThreadRegistry::mark_exited(ThreadContext& ctx) {
   ctx.exited.store(true, std::memory_order_relaxed);
   // Park as blocked forever: implicit coordination always succeeds.
   std::uint64_t s = ctx.owner_side.status.load(std::memory_order_relaxed);
+  if (ThreadStatus::is_quarantined(s)) return;  // already terminally parked
   HT_ASSERT(!ThreadStatus::is_blocked(s), "exiting thread already blocked");
   ctx.owner_side.status.store(s | ThreadStatus::kBlockedBit,
                               std::memory_order_release);

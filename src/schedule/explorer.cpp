@@ -10,6 +10,7 @@
 #include "analysis/transition_checker.hpp"
 #include "analysis/transition_model.hpp"
 #include "common/assert.hpp"
+#include "resilience/quarantine.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/sync.hpp"
 #include "tracking/hybrid_tracker.hpp"
@@ -81,7 +82,7 @@ analysis::TrackerFamily to_analysis(Family f) {
 
 }  // namespace
 
-StatePairOracle::StatePairOracle(Family f) {
+StatePairOracle::StatePairOracle(Family f) : family_(f) {
   using Matrix = std::array<std::array<bool, kKinds>, kKinds>;
   // Access edges: identity (fast paths, reentrant rows, kind-preserving
   // ownership handoffs, Int -> Int across a multi-round coordination wait)
@@ -132,6 +133,36 @@ StatePairOracle::StatePairOracle(Family f) {
 void StatePairOracle::forbid(StateKind from, StateKind to) {
   allowed_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] =
       false;
+}
+
+void StatePairOracle::widen_for_quarantine() {
+  const auto allow = [&](StateKind a, StateKind b) {
+    allowed_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = true;
+  };
+  // A quarantined victim can own exactly the locked kinds and Int. A seizure
+  // walks victim-state -> Int(seizer) -> landing, and the seizer's very next
+  // action in the same step may re-acquire the landed state — so from any
+  // seizable source, any landing or re-acquired locked kind (or a park
+  // inside the seizer's own follow-up coordination, hence Int) is a legal
+  // net per-step edge.
+  constexpr StateKind kSeizable[] = {
+      StateKind::kWrExWLock, StateKind::kWrExRLock, StateKind::kRdExRLock,
+      StateKind::kRdShRLock, StateKind::kInt};
+  constexpr StateKind kSeized[] = {
+      StateKind::kInt,       StateKind::kWrExPess,  StateKind::kRdExPess,
+      StateKind::kRdShPess,  StateKind::kWrExOpt,   StateKind::kWrExWLock,
+      StateKind::kWrExRLock, StateKind::kRdExRLock, StateKind::kRdShRLock};
+  for (StateKind a : kSeizable) {
+    for (StateKind b : kSeized) allow(a, b);
+  }
+  // Abandoned coordination: the victim's IntGuard restores Int back to the
+  // conflict's from state when it self-parks mid-wait, so Int -> from is net
+  // visible for every rule that begins a coordination.
+  for (const analysis::TransitionRule& r :
+       analysis::transition_rules(to_analysis(family_))) {
+    if (r.outcome.kind != analysis::OutcomeKind::kTransition) continue;
+    if (r.outcome.begins_coordination) allow(StateKind::kInt, r.from);
+  }
 }
 
 void StatePairOracle::observe(const StateChange& c) {
@@ -325,6 +356,13 @@ void run_thread(const RunWorld& w, Tracker& tracker, Slot slot) {
           held.erase(std::find(held.begin(), held.end(), op.lock));
           break;
         }
+        case OpKind::kQuarantine:
+          // Lease expiry by fiat: under virtual time the watchdog's
+          // wall-clock escalation is meaningless, so programs quarantine
+          // directly and exploration decides where in the victim's sequence
+          // the blow lands.
+          w.rt->quarantine_thread(ctx, static_cast<ThreadId>(op.value));
+          break;
       }
       w.rt->poll(ctx);  // responding safe point between ops
 
@@ -348,6 +386,13 @@ void run_thread(const RunWorld& w, Tracker& tracker, Slot slot) {
       sched.annotated_point(slot, ann);
     }
     w.rt->unregister_thread(ctx);  // exit flush: thread death is a PSRO
+    sched.detach(slot);
+  } catch (const ThreadQuarantined&) {
+    // The victim's legitimate end: it stays *registered* (quarantined, not
+    // exited — implicit coordination against it must keep succeeding) but
+    // its schedule slot is done. Anything it still owned is reclaimed by
+    // the eager sweep or by survivors' lazy seizures.
+    for (int li : held) (*w.locks)[static_cast<std::size_t>(li)].abandon();
     sched.detach(slot);
   } catch (const ScheduleAborted&) {
     for (int li : held) (*w.locks)[static_cast<std::size_t>(li)].abandon();
@@ -374,17 +419,27 @@ RunResult run_core(detail::WorkerPool& pool, const Program& prog,
   // Fresh world per execution: stateless model checking re-creates runtime,
   // tracker, and data every run instead of restoring snapshots.
   FaultInjector injector(rc.faults != nullptr ? *rc.faults : FaultConfig{});
+  std::vector<TrackedVar<std::uint64_t>> vars(
+      static_cast<std::size_t>(prog.objects));
+  // Eager ownership reclamation for OpKind::kQuarantine: the sweep walks
+  // this run's object population. Bound before Runtime copies its config.
+  resilience::QuarantineSweep sweep(
+      [&vars](const std::function<void(ObjectMeta&)>& fn) {
+        for (TrackedVar<std::uint64_t>& v : vars) fn(v.meta());
+      });
+  // The pure optimistic tracker asserts on pessimistic kinds; abandoned
+  // states must land back in its own state family there.
+  sweep.set_land_pessimistic(family != Family::kOptimistic);
   RuntimeConfig rtc;
   rtc.max_threads = static_cast<std::size_t>(nthreads);
   // The virtual scheduler owns stall detection; the watchdog's wall-clock
   // heuristics are meaningless under virtual time.
   rtc.watchdog.enabled = false;
+  rtc.resilience.on_quarantine = std::ref(sweep);
   if (rc.faults != nullptr) rtc.fault_injector = &injector;
   Runtime rt(rtc);
   auto tracker = make(rt);
 
-  std::vector<TrackedVar<std::uint64_t>> vars(
-      static_cast<std::size_t>(prog.objects));
   std::vector<RaceCheckedMeta> rmeta(static_cast<std::size_t>(prog.objects));
   std::deque<ProgramLock> locks(static_cast<std::size_t>(prog.locks));
   RaceDetector detector(static_cast<std::size_t>(nthreads));
@@ -441,6 +496,8 @@ RunResult run_core(detail::WorkerPool& pool, const Program& prog,
   r.decisions = sched.decisions();
   r.checker_violations = analysis::transition_violations() - checker0;
   r.faults_fired = rc.faults != nullptr ? injector.total_fired() : 0;
+  r.quarantined = rt.quarantined_count();
+  r.objects_seized = sweep.objects_seized();
   r.races = detector.total_report(static_cast<ThreadId>(nthreads));
   r.final_states.reserve(vars.size());
   r.final_values.reserve(vars.size());
@@ -477,6 +534,13 @@ Explorer::~Explorer() = default;
 RunResult Explorer::run_once(const Program& program, Strategy& strategy) {
   HT_ASSERT(program.nthreads() == nthreads_,
             "program thread count != explorer thread count");
+  // Programs that quarantine threads produce seizure edges the base
+  // successor relation rejects; admit them once, automatically, so generic
+  // drivers (the exhaustive suite iterates every builtin) need no wiring.
+  if (!widened_for_quarantine_ && program.has_quarantine()) {
+    oracle_.widen_for_quarantine();
+    widened_for_quarantine_ = true;
+  }
   oracle_.reset();
   const auto observe = [this](const StateChange& c) {
     oracle_.observe(c);

@@ -73,6 +73,12 @@ struct RunResult {
   RaceReport races;
   std::uint64_t checker_violations = 0;
   std::uint64_t faults_fired = 0;
+  // Resilience (DESIGN.md §11): threads quarantined during the run (via
+  // OpKind::kQuarantine) and object states the eager sweep reclaimed from
+  // them. Deliberately outside the digest: schedules differing only in
+  // whether a seizure was eager or lazy can still hash equal.
+  std::uint32_t quarantined = 0;
+  std::uint64_t objects_seized = 0;
   // Full decision record (eligible sets + observed footprints); the DFS
   // explorer consumes these to fill its frames after each execution.
   std::vector<Decision> decisions;
@@ -98,6 +104,15 @@ class StatePairOracle {
   // Mutation testing: declare one legal kind pair illegal.
   void forbid(StateKind from, StateKind to);
 
+  // Admits the kind successions ownership seizure introduces (DESIGN.md
+  // §11.3) — victim-owned locked/Int states jumping to their seizure
+  // landings (and onward to the seizer's own re-acquisition within the same
+  // step), plus Int falling back to the conflict's *from* kind when the
+  // victim abandons a coordination (IntGuard restore). Call before
+  // exploring programs containing OpKind::kQuarantine; rows whose source a
+  // quarantined thread cannot own are untouched.
+  void widen_for_quarantine();
+
   void observe(const StateChange& c);
   std::uint64_t violations() const { return violations_; }
   const std::string& first_violation() const { return first_; }
@@ -105,6 +120,7 @@ class StatePairOracle {
 
  private:
   static constexpr std::size_t kKinds = 16;
+  Family family_;
   std::array<std::array<bool, kKinds>, kKinds> allowed_{};
   std::uint64_t violations_ = 0;
   std::string first_;
@@ -186,6 +202,7 @@ class Explorer {
   RunConfig run_config_;
   CheckPolicy check_policy_;
   StatePairOracle oracle_;
+  bool widened_for_quarantine_ = false;
   std::unique_ptr<detail::WorkerPool> pool_;
 };
 

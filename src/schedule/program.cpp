@@ -13,6 +13,7 @@ const char* op_kind_name(OpKind k) {
     case OpKind::kBlockWindow: return "block";
     case OpKind::kLockAcquire: return "lock";
     case OpKind::kLockRelease: return "unlock";
+    case OpKind::kQuarantine: return "quarantine";
   }
   return "?";
 }
@@ -26,6 +27,9 @@ Op psro() { return {OpKind::kPsro, 0, 0, 0}; }
 Op block() { return {OpKind::kBlockWindow, 0, 0, 0}; }
 Op lock(int l) { return {OpKind::kLockAcquire, 0, l, 0}; }
 Op unlock(int l) { return {OpKind::kLockRelease, 0, l, 0}; }
+Op qtine(int victim) {
+  return {OpKind::kQuarantine, 0, 0, static_cast<std::uint64_t>(victim)};
+}
 
 std::vector<NamedProgram> build() {
   std::vector<NamedProgram> p;
@@ -102,6 +106,22 @@ std::vector<NamedProgram> build() {
                 .threads = {{lock(0), ld(0), streg(0, 1), unlock(0)},
                             {lock(0), ld(0), streg(0, 1), unlock(0)}},
                 .init = {}}});
+
+  // Self-healing (DESIGN.md §11): slot 1 write-locks a pessimistic object
+  // and starts an optimistic conflict (Int + coordination wait) against
+  // slot 0's object, and slot 0 quarantines it at an arbitrary point in
+  // that sequence. Exhaustive exploration makes the eager sweep, the lazy
+  // per-access seizure, the IntGuard abandon-restore, and the victim's
+  // landing CAS race each other in every order; every interleaving must
+  // still complete quiescent (the survivor reclaims whatever the victim
+  // held) with zero checker violations.
+  p.push_back({"quarantine",
+               "slot 0 quarantines slot 1 mid-lock/mid-coordination",
+               {.objects = 2,
+                .locks = 0,
+                .threads = {{qtine(1), st(0, 2), ld(1)},
+                            {st(0, 1), st(1, 5), psro()}},
+                .init = {{1, true}, {0, false}}}});
 
   // The same increments with the lock removed: racy on purpose, used to
   // prove the race-detector oracle actually fires under exploration.

@@ -22,6 +22,10 @@ enum class OpKind : std::uint8_t {
   kBlockWindow,  // begin_blocking; scheduling point; end_blocking
   kLockAcquire,  // locks[lock].acquire — blocking safe point when contended
   kLockRelease,  // locks[lock].release — a PSRO
+  kQuarantine,   // quarantine thread slot `value` (DESIGN.md §11.2): models a
+                 // coordinator whose lease on that thread expired. The victim
+                 // self-parks at its next safe point; the run's eager sweep
+                 // seizes whatever it still owns.
 };
 
 const char* op_kind_name(OpKind k);
@@ -50,6 +54,14 @@ struct Program {
   std::vector<ObjInit> init;  // empty == every object {owner 0, optimistic}
 
   int nthreads() const { return static_cast<int>(threads.size()); }
+  bool has_quarantine() const {
+    for (const std::vector<Op>& ops : threads) {
+      for (const Op& op : ops) {
+        if (op.kind == OpKind::kQuarantine) return true;
+      }
+    }
+    return false;
+  }
   ObjInit obj_init(int obj) const {
     return static_cast<std::size_t>(obj) < init.size()
                ? init[static_cast<std::size_t>(obj)]

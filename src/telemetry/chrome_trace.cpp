@@ -31,6 +31,11 @@ const char* event_category(EventKind k) {
       return "enforcer";
     case EventKind::kDepEdge:
       return "recorder";
+    case EventKind::kLeaseExpired:
+    case EventKind::kQuarantine:
+    case EventKind::kSeizure:
+    case EventKind::kGovernorFlip:
+      return "resilience";
     default:
       return "thread";
   }
@@ -71,6 +76,27 @@ void append_args(std::string& out, const Event& e) {
     case EventKind::kDepEdge:
       out += "\"src_release\":" + json::number(static_cast<double>(e.arg0));
       out += ",\"src_tid\":" + json::number(e.arg1);
+      break;
+    case EventKind::kLeaseExpired:
+      out += "\"owner_tid\":" + json::number(static_cast<double>(e.arg0));
+      out += ",\"ticket\":" + json::number(e.arg1);
+      out += ",\"stalled_epochs\":" + json::number(e.arg2);
+      break;
+    case EventKind::kQuarantine:
+      out += "\"victim_tid\":" + json::number(static_cast<double>(e.arg0));
+      out += ",\"status_epoch\":" + json::number(e.arg1);
+      out += ",\"tickets_released\":" + json::number(e.arg2);
+      break;
+    case EventKind::kSeizure:
+      out += "\"cycles\":" + json::number(static_cast<double>(e.arg0));
+      out += ",\"object\":" + json::number(e.arg1);
+      out += ",\"victim_tid\":" + json::number(e.arg2);
+      break;
+    case EventKind::kGovernorFlip:
+      out += "\"degraded\":" +
+             std::string(e.arg0 != 0 ? "true" : "false");
+      out += ",\"storm_windows\":" + json::number(e.arg1);
+      out += ",\"calm_windows\":" + json::number(e.arg2);
       break;
     default:
       out += "\"arg0\":" + json::number(static_cast<double>(e.arg0));

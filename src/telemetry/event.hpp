@@ -36,6 +36,16 @@ enum class EventKind : std::uint16_t {
 
   // Dependence recorder (src/recorder/).
   kDepEdge,  // arg0 = source release-counter value, arg1 = source tid
+
+  // Resilience layer (src/resilience/, DESIGN.md §11).
+  kLeaseExpired,   // arg0 = stalled owner tid, arg1 = unanswered ticket,
+                   // arg2 = stalled epochs when the lease was declared dead
+  kQuarantine,     // arg0 = victim tid, arg1 = quarantine status epoch,
+                   // arg2 = tickets released by the quarantine
+  kSeizure,        // arg0 = seizure latency cycles, arg1 = object id,
+                   // arg2 = victim tid
+  kGovernorFlip,   // arg0 = 1 entering degraded / 0 recovering,
+                   // arg1 = storm windows observed, arg2 = calm windows
 };
 
 // arg2 flag bits for kOptConflict / kPessAcquire.
@@ -74,6 +84,10 @@ inline const char* event_kind_name(EventKind k) {
     case EventKind::kPolicyPessToOpt: return "policy_pess_to_opt";
     case EventKind::kRegionRestart: return "region_restart";
     case EventKind::kDepEdge: return "dep_edge";
+    case EventKind::kLeaseExpired: return "lease_expired";
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kSeizure: return "seizure";
+    case EventKind::kGovernorFlip: return "governor_flip";
   }
   return "unknown";
 }
@@ -82,7 +96,7 @@ inline const char* event_kind_name(EventKind k) {
 // as Chrome "X" duration events and aggregated into latency histograms).
 inline bool event_kind_has_latency(EventKind k) {
   return k == EventKind::kCoordRoundTrip || k == EventKind::kPessWait ||
-         k == EventKind::kRegionRestart;
+         k == EventKind::kRegionRestart || k == EventKind::kSeizure;
 }
 
 // Compact object identity for trace events. Object metadata carries no id

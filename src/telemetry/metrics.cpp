@@ -173,12 +173,22 @@ MetricsRegistry aggregate_metrics(const TraceSnapshot& snap) {
   auto& restarts = reg.counter("ht_region_restarts_total", "RS region restarts");
   auto& edges =
       reg.counter("ht_dep_edges_total", "recorded cross-thread dependences");
+  auto& lease_expiries = reg.counter("ht_lease_expiries_total",
+                                     "liveness leases declared expired");
+  auto& quarantines =
+      reg.counter("ht_quarantines_total", "threads flipped to Quarantined");
+  auto& seizures = reg.counter("ht_seizures_total",
+                               "state words seized from quarantined threads");
+  auto& governor_flips = reg.counter("ht_governor_flips_total",
+                                     "degradation governor mode changes");
   auto& coord_hist = reg.histogram("ht_coord_roundtrip_cycles",
                                    "coordination round-trip latency (cycles)");
   auto& wait_hist = reg.histogram("ht_pess_wait_cycles",
                                   "pessimistic lock acquisition wait (cycles)");
   auto& restart_hist = reg.histogram("ht_region_restart_cycles",
                                      "cycles burned by aborted region attempts");
+  auto& seizure_hist = reg.histogram(
+      "ht_seizure_cycles", "ownership seizure latency per object (cycles)");
 
   for (const auto& t : snap.threads) {
     dropped += t.dropped;
@@ -223,6 +233,19 @@ MetricsRegistry aggregate_metrics(const TraceSnapshot& snap) {
           break;
         case EventKind::kDepEdge:
           ++edges;
+          break;
+        case EventKind::kLeaseExpired:
+          ++lease_expiries;
+          break;
+        case EventKind::kQuarantine:
+          ++quarantines;
+          break;
+        case EventKind::kSeizure:
+          ++seizures;
+          seizure_hist.add(e.arg0);
+          break;
+        case EventKind::kGovernorFlip:
+          ++governor_flips;
           break;
         default:
           break;

@@ -20,6 +20,7 @@
 //     anyway — escapes back to optimistic states.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "metadata/object_meta.hpp"
@@ -65,13 +66,30 @@ struct PolicyConfig {
 class AdaptivePolicy {
  public:
   explicit AdaptivePolicy(PolicyConfig cfg = {}) : cfg_(cfg) {}
+  // The degraded flag is a plain value for copies (trackers are normally
+  // constructed in place; a copy snapshots the current mode).
+  AdaptivePolicy(const AdaptivePolicy& o)
+      : cfg_(o.cfg_), degraded_(o.degraded()) {}
+  AdaptivePolicy& operator=(const AdaptivePolicy& o) {
+    cfg_ = o.cfg_;
+    degraded_.store(o.degraded(), std::memory_order_relaxed);
+    return *this;
+  }
 
   const PolicyConfig& config() const { return cfg_; }
+
+  // Degradation-governor override (src/resilience/, DESIGN.md §11): while
+  // degraded, every conflicting transition transfers to pessimistic and no
+  // unlock goes back — global coarse mode on top of the per-object policy,
+  // flipped under coordination storms and restored under calm.
+  void set_degraded(bool d) { degraded_.store(d, std::memory_order_relaxed); }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   // Called when an optimistic conflicting transition completes. Counts the
   // conflict (explicit coordination only) and decides whether the object
   // transfers to a pessimistic state (Fig 10 line 46, Eq. 4).
   bool to_pess_on_conflict(ObjectMeta& m, bool used_explicit) {
+    if (degraded()) return true;
     if (cfg_.infinite_cutoff) return false;
     if (!used_explicit) return false;
     const ProfileWord p =
@@ -109,6 +127,7 @@ class AdaptivePolicy {
   // has actually landed (an unlock CAS can fail when a concurrent reader
   // joins, in which case the decision must not leave side effects).
   bool should_go_opt(ObjectMeta& m) const {
+    if (degraded()) return false;
     const ProfileWord p = m.profile().load();
     const bool by_formula =
         static_cast<std::uint64_t>(p.pess_non_confl()) >=
@@ -135,6 +154,7 @@ class AdaptivePolicy {
 
  private:
   PolicyConfig cfg_;
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace ht

@@ -23,6 +23,7 @@
 #include <atomic>
 
 #include "metadata/object_meta.hpp"
+#include "resilience/seizure.hpp"
 #include "tracking/adaptive_policy.hpp"
 #include "tracking/tracker_common.hpp"
 #include "tracking/tracking_modes.hpp"
@@ -123,14 +124,35 @@ class HybridTracker {
   void unlock_one(ThreadContext& ctx, ObjectMeta& m) {
     for (;;) {
       StateWord s = m.load_state();
+      // Quarantine tolerance: between buffering and this flush, a survivor
+      // may have seized this entry from us (we were quarantined but had not
+      // yet parked), leaving a state we no longer own — unlocked, Int, or
+      // re-locked by the seizer's successor. Such entries are simply no
+      // longer ours to unlock; skip them. Without quarantines this is
+      // impossible and remains a hard protocol violation.
+      const bool ours = (s.kind() == StateKind::kWrExWLock ||
+                         s.kind() == StateKind::kWrExRLock ||
+                         s.kind() == StateKind::kRdExRLock)
+                            ? s.tid() == ctx.id
+                            : s.kind() == StateKind::kRdShRLock;
+      if (!ours) {
+        HT_ASSERT(runtime_->has_quarantined(),
+                  "lock-buffer entry in a state we do not hold");
+        return;
+      }
       switch (s.kind()) {
         case StateKind::kWrExWLock: {
-          HT_DASSERT(s.tid() == ctx.id, "flushing a lock we do not hold");
-          // Sole owner of a write lock: nobody else may touch the state.
+          // Sole owner of a write lock — but the unlock still CASes rather
+          // than blind-stores: a quarantined-but-not-yet-parked thread
+          // flushing here must lose cleanly to a concurrent seizure instead
+          // of clobbering the seized state (conceptually the transition is
+          // still the owner's sole-owner store, so the observation keeps
+          // Mechanism::kStore).
           const bool to_opt = policy_.should_go_opt(m);
           const StateWord next = to_opt ? StateWord::wr_ex_opt(ctx.id)
                                         : StateWord::wr_ex_pess(ctx.id);
-          m.store_state(next);
+          StateWord expected = s;
+          if (!m.cas_state(expected, next)) break;  // seized: reload
           HT_CHECK_TRANSITION(
               {.family = analysis::TrackerFamily::kHybrid,
                .actor = ctx.id,
@@ -240,11 +262,26 @@ class HybridTracker {
     }
   }
 
+  // Lazy ownership reclamation (DESIGN.md §11): a state owned by a
+  // quarantined thread will never be released by it — coordinate() with the
+  // dead owner succeeds implicitly, so without this check a contended slow
+  // path would livelock re-reading the same locked state forever. Returns
+  // true when the caller should reload the state word.
+  bool seize_if_quarantined(ThreadContext& ctx, ObjectMeta& m, StateWord s) {
+    Runtime& rt = *runtime_;
+    if (!rt.has_quarantined() || !rt.thread_quarantined(s.tid())) return false;
+    resilience::seize_object(ctx, m, s.tid());
+    return true;
+  }
+
   // ==== store slow path (Fig 10b generalized to all Table 3 rows) ==========
   void store_slow(ThreadContext& ctx, ObjectMeta& m) {
     Runtime& rt = *runtime_;
     bool contended = false;
     for (;;) {
+      // Quarantined victims must not lock or Int fresh states after the
+      // sweep ran (DESIGN.md §11.2); park before acquiring, never after.
+      rt.check_self_quarantine(ctx);
       StateWord s = m.load_state();
       switch (s.kind()) {
         // ---- optimistic ----------------------------------------------------
@@ -294,6 +331,7 @@ class HybridTracker {
                               .access = analysis::AccessKind::kWrite,
                               .rel = analysis::ActorRel::kOther,
                               .mode = mode_});
+          if (seize_if_quarantined(ctx, m, s)) break;
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           break;
@@ -365,6 +403,7 @@ class HybridTracker {
                               .access = analysis::AccessKind::kWrite,
                               .rel = analysis::ActorRel::kOther,
                               .mode = mode_});
+          if (seize_if_quarantined(ctx, m, s)) break;
           pess_contended(ctx, m, s, contended);
           break;
         case StateKind::kWrExRLock:
@@ -397,6 +436,7 @@ class HybridTracker {
                               .access = analysis::AccessKind::kWrite,
                               .rel = analysis::ActorRel::kOther,
                               .mode = mode_});
+          if (seize_if_quarantined(ctx, m, s)) break;
           pess_contended(ctx, m, s, contended);
           break;
         case StateKind::kRdShRLock:
@@ -435,6 +475,23 @@ class HybridTracker {
                               .sole_holder = s.rdlock_count() == 1,
                               .mode = mode_});
           pess_contended(ctx, m, s, contended);
+          // Share-lock holders are anonymous (footnote 4), so a quarantined
+          // holder cannot be seized eagerly — but it also never decrements
+          // the count. pess_contended just completed a full coordination
+          // round with every live thread; if the word is still bit-for-bit
+          // unchanged, the remaining holders can only be dead: break the
+          // share through Int into RdShPess. (The rare ABA with a live
+          // holder whose flush-and-rejoin restored the identical word is
+          // tolerated — that holder's later flush skips the entry under
+          // quarantine tolerance.)
+          if (rt.has_quarantined() && m.load_state().raw() == s.raw()) {
+            StateWord expected = s;
+            if (m.cas_state(expected, StateWord::intermediate(ctx.id))) {
+              m.store_state(StateWord::rd_sh_pess(s.counter()));
+              HT_TELEM_EVENT(ctx, kSeizure, 0, telemetry::object_id(&m),
+                             kNoThread);
+            }
+          }
           break;
 
         case StateKind::kPessLockedSentinel:
@@ -448,6 +505,7 @@ class HybridTracker {
     Runtime& rt = *runtime_;
     bool contended = false;
     for (;;) {
+      rt.check_self_quarantine(ctx);
       StateWord s = m.load_state();
       switch (s.kind()) {
         // ---- optimistic ----------------------------------------------------
@@ -534,6 +592,7 @@ class HybridTracker {
                               .access = analysis::AccessKind::kRead,
                               .rel = analysis::ActorRel::kOther,
                               .mode = mode_});
+          if (seize_if_quarantined(ctx, m, s)) break;
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           break;
@@ -698,6 +757,7 @@ class HybridTracker {
                               .access = analysis::AccessKind::kRead,
                               .rel = analysis::ActorRel::kOther,
                               .mode = mode_});
+          if (seize_if_quarantined(ctx, m, s)) break;
           pess_contended(ctx, m, s, contended);
           break;
         case StateKind::kWrExRLock:
@@ -716,6 +776,9 @@ class HybridTracker {
             return;
           }
           // Second concurrent reader: WrExRLock_T1 -> RdShRLock(2).
+          // Seize first if the holder is quarantined — joining would count a
+          // dead thread as a share holder that never decrements.
+          if (seize_if_quarantined(ctx, m, s)) break;
           if (join_read_share(ctx, m, s, /*initial_holders=*/2,
                               /*confl=*/true, contended))
             return;
@@ -735,6 +798,7 @@ class HybridTracker {
                                  .in_rd_set = analysis::rs_member(ctx, &m)});
             return;
           }
+          if (seize_if_quarantined(ctx, m, s)) break;
           if (join_read_share(ctx, m, s, /*initial_holders=*/2,
                               /*confl=*/false, contended))
             return;
@@ -830,7 +894,7 @@ class HybridTracker {
 
     bool any_explicit = false;
     {
-      IntGuard guard(m, s);
+      IntGuard guard(m, s, ctx.id);
       if (s.is_rd_sh()) {
         any_explicit = rt.coordinate_all_others(ctx);
         record_all_edges(ctx);
@@ -843,19 +907,22 @@ class HybridTracker {
     }
 
     const bool went_pess = policy_.to_pess_on_conflict(m, any_explicit);
-    StateWord landed;
+    const StateWord landed =
+        went_pess ? (is_store ? StateWord::wr_ex_wlock(ctx.id)
+                              : StateWord::rd_ex_rlock(ctx.id))
+                  : (is_store ? StateWord::wr_ex_opt(ctx.id)
+                              : StateWord::rd_ex_opt(ctx.id));
+    // The landing CASes from our own Int rather than blind-storing: if this
+    // thread was quarantined between its last wait check and coordinate()'s
+    // return, a survivor has already seized the Int and owns the object —
+    // the seized state must win and we park.
+    StateWord intw = StateWord::intermediate(ctx.id);
+    if (!m.cas_state(intw, landed)) rt.quarantined_self_park(ctx);
     if (went_pess) {
       policy_.note_became_pess(m);
-      landed = is_store ? StateWord::wr_ex_wlock(ctx.id)
-                        : StateWord::rd_ex_rlock(ctx.id);
-      m.store_state(landed);
       if (!is_store) ctx.rd_set.insert(&m);
       ctx.lock_buffer.push_back(&m);
       if constexpr (kStats) ++ctx.stats.opt_to_pess;
-    } else {
-      landed = is_store ? StateWord::wr_ex_opt(ctx.id)
-                        : StateWord::rd_ex_opt(ctx.id);
-      m.store_state(landed);
     }
     HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
                          .actor = ctx.id,

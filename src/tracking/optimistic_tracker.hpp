@@ -13,6 +13,7 @@
 #include <atomic>
 
 #include "metadata/object_meta.hpp"
+#include "resilience/seizure.hpp"
 #include "tracking/tracker_common.hpp"
 
 namespace ht {
@@ -82,6 +83,9 @@ class OptimisticTracker {
   void store_slow(ThreadContext& ctx, ObjectMeta& m) {
     Runtime& rt = *runtime_;
     for (;;) {
+      // Park quarantined victims before they start a fresh coordination
+      // (DESIGN.md §11.2); an in-flight Int is unwound by its IntGuard.
+      rt.check_self_quarantine(ctx);
       StateWord s = m.load_state();
       if (s.raw() == ctx.fast_wr_ex_opt) {
         // Another iteration (or a racing thread handing the state back)
@@ -120,6 +124,13 @@ class OptimisticTracker {
                             .from = s,
                             .access = analysis::AccessKind::kWrite,
                             .rel = analysis::ActorRel::kOther});
+        // An Int abandoned by a quarantined thread never resolves on its
+        // own; reclaim it (landing optimistic — this tracker has no
+        // pessimistic states) instead of waiting forever.
+        if (rt.has_quarantined() && rt.thread_quarantined(s.tid())) {
+          resilience::seize_object(ctx, m, s.tid(), /*land_pessimistic=*/false);
+          continue;
+        }
         rt.fault_point_slow_path(ctx);
         rt.respond_while_waiting(ctx);
         continue;
@@ -132,6 +143,7 @@ class OptimisticTracker {
   void load_slow(ThreadContext& ctx, ObjectMeta& m) {
     Runtime& rt = *runtime_;
     for (;;) {
+      rt.check_self_quarantine(ctx);
       StateWord s = m.load_state();
       if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt) {
         if constexpr (kStats) ++ctx.stats.opt_same;
@@ -199,6 +211,11 @@ class OptimisticTracker {
                               .from = s,
                               .access = analysis::AccessKind::kRead,
                               .rel = analysis::ActorRel::kOther});
+          if (rt.has_quarantined() && rt.thread_quarantined(s.tid())) {
+            resilience::seize_object(ctx, m, s.tid(),
+                                     /*land_pessimistic=*/false);
+            continue;
+          }
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
           continue;
@@ -223,7 +240,7 @@ class OptimisticTracker {
 
     bool any_explicit = false;
     {
-      IntGuard guard(m, old_state);  // enforcer regions may unwind the wait
+      IntGuard guard(m, old_state, ctx.id);  // enforcer regions may unwind the wait
       if (old_state.is_rd_sh()) {
         // Prior readers are unknown: coordinate with every other thread
         // (paper footnote 4).
@@ -237,7 +254,10 @@ class OptimisticTracker {
       }
       guard.disarm();
     }
-    m.store_state(new_state);
+    // CAS, not store: a survivor may have seized our Int if this thread was
+    // quarantined mid-coordination; the seized state wins and we park.
+    StateWord intw = StateWord::intermediate(ctx.id);
+    if (!m.cas_state(intw, new_state)) rt.quarantined_self_park(ctx);
     HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                          .actor = ctx.id,
                          .object = &m,

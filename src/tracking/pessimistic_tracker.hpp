@@ -115,6 +115,7 @@ class PessimisticTracker {
   StateWord lock(ThreadContext& ctx, ObjectMeta& m) {
     // Uncontended first attempt, outside the timed wait loop.
     {
+      runtime_->check_self_quarantine(ctx);
       StateWord s = m.load_state();
       if (s.kind() != StateKind::kPessLockedSentinel) {
         StateWord expected = s;
@@ -133,6 +134,7 @@ class PessimisticTracker {
     for (;;) {
       runtime_->fault_point_slow_path(ctx);
       schedule::wait_point();  // contended-lock spin is a wait point
+      runtime_->check_self_quarantine(ctx);
       if (!schedule::virtualized()) backoff.pause();
       StateWord s = m.load_state();
       if (s.kind() != StateKind::kPessLockedSentinel) {

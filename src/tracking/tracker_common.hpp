@@ -55,14 +55,25 @@ inline NullSink g_null_sink;
 // token carries the post-access unlock target instead.
 struct EmptyToken {};
 
-// Restores an object's old state if a coordination wait unwinds via
-// RegionRestart while the thread owns the intermediate (Int) state. Without
+// Restores an object's old state if a coordination wait unwinds (via
+// RegionRestart, or ThreadQuarantined when the waiter itself was
+// quarantined) while the thread owns the intermediate (Int) state. Without
 // this, an aborted region would leave the object permanently wedged.
+//
+// The restore is a CAS from our own Int word, not a blind store: if the
+// unwinding thread was quarantined, a survivor may have seized the Int
+// (resilience::seize_object) between the throw and this destructor, and the
+// seized state must win. Outside quarantine nobody else ever replaces our
+// Int, so the CAS always succeeds there.
 class IntGuard {
  public:
-  IntGuard(ObjectMeta& m, StateWord old_state) : m_(m), old_(old_state) {}
+  IntGuard(ObjectMeta& m, StateWord old_state, ThreadId owner)
+      : m_(m), old_(old_state), owner_(owner) {}
   ~IntGuard() {
-    if (armed_) m_.store_state(old_);
+    if (armed_) {
+      StateWord expected = StateWord::intermediate(owner_);
+      (void)m_.cas_state(expected, old_);
+    }
   }
   IntGuard(const IntGuard&) = delete;
   IntGuard& operator=(const IntGuard&) = delete;
@@ -72,6 +83,7 @@ class IntGuard {
  private:
   ObjectMeta& m_;
   StateWord old_;
+  ThreadId owner_;
   bool armed_ = true;
 };
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <barrier>
 #include <chrono>
 #include <cstdint>
@@ -274,6 +275,12 @@ std::uint64_t workload_thread_body(Api& api, const WorkloadConfig& cfg,
     }
 
     if (lock != nullptr) api.lock(*lock);
+    // A quarantined thread parks by throwing out of a safe point inside the
+    // region; the program mutex it holds must not go down with it (tracker
+    // state is seized by the sweep, but no runtime can reclaim an OS mutex).
+    // Raw abandon, not api.unlock: release(ctx) runs safe-point bookkeeping
+    // this thread may no longer perform.
+    try {
     // The region body is re-executable: all inputs come from the plan, all
     // loaded values land in `vals` (overwritten on restart), and all stores
     // are tracked (undone by the enforcer on restart).
@@ -302,6 +309,10 @@ std::uint64_t workload_thread_body(Api& api, const WorkloadConfig& cfg,
         }
       }
     });
+    } catch (const ThreadQuarantined&) {
+      if (lock != nullptr) lock->abandon();
+      throw;
+    }
     if (lock != nullptr) api.unlock(*lock);
 
     for (std::uint32_t i = 0; i < p.accesses; ++i) {
@@ -333,6 +344,11 @@ struct WorkloadRunResult {
   double join_skew_seconds = 0;
   TransitionStats stats;
   std::vector<std::uint64_t> checksums;
+  // Threads that ended by ThreadQuarantined instead of completing their body
+  // (DESIGN.md §11.2). Their checksum slot is whatever they had accumulated
+  // when the lease blow landed; value-determinism checks only apply to runs
+  // with quarantined == 0.
+  int quarantined = 0;
 };
 
 // `init(api, tid)` runs on every thread after registration but before the
@@ -355,24 +371,47 @@ WorkloadRunResult run_threads(int nthreads, MakeApi&& make_api, Init&& init,
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nthreads));
 
+  std::atomic<int> quarantined_total{0};
   for (int t = 0; t < nthreads; ++t) {
     threads.emplace_back([&, t] {
       const ThreadId tid = static_cast<ThreadId>(t);
       auto api = make_api(tid);
       api.begin_thread(tid);
-      init(api, tid);
-      api.begin_wait();
+      // Quarantine tolerance (DESIGN.md §11.2): a thread whose lease was
+      // revoked ends its run at the throw, but it must still *arrive* at
+      // both barriers or every healthy thread deadlocks. It arrives without
+      // begin_wait/end_wait — those are runtime safe points and would
+      // re-park it — which is safe precisely because it is quarantined:
+      // coordination against it succeeds implicitly while it waits.
+      bool quarantined = false;
+      const auto step = [&](auto&& fn) {
+        if (quarantined) return;
+        try {
+          fn();
+        } catch (const ThreadQuarantined&) {
+          quarantined = true;
+        }
+      };
+      step([&] { init(api, tid); });
+      step([&] { api.begin_wait(); });
       init_barrier.arrive_and_wait();
-      api.end_wait();
-      warmup(api, tid);
+      step([&] { api.end_wait(); });
+      step([&] { warmup(api, tid); });
       api.reset_stats();  // report steady-state statistics, not warm-up
-      api.begin_wait();
+      step([&] { api.begin_wait(); });
       start_barrier.arrive_and_wait();
-      api.end_wait();
-      result.checksums[static_cast<std::size_t>(t)] = body(api, tid);
+      step([&] { api.end_wait(); });
+      step([&] {
+        result.checksums[static_cast<std::size_t>(t)] = body(api, tid);
+      });
       finished[static_cast<std::size_t>(t)] = std::chrono::steady_clock::now();
       stats[static_cast<std::size_t>(t)] = api.take_stats();
-      api.end_thread();
+      // A quarantined thread stays registered (implicit coordination must
+      // keep succeeding against its terminal status); only healthy threads
+      // run the exit-flush PSRO. end_thread itself may discover a quarantine
+      // that landed after the body finished.
+      step([&] { api.end_thread(); });
+      if (quarantined) quarantined_total.fetch_add(1, std::memory_order_relaxed);
     });
   }
 
@@ -382,6 +421,7 @@ WorkloadRunResult run_threads(int nthreads, MakeApi&& make_api, Init&& init,
   for (auto& th : threads) th.join();
   result.cycles = read_cycles() - cycles0;
   result.seconds = timer.elapsed_seconds();
+  result.quarantined = quarantined_total.load(std::memory_order_relaxed);
   for (const auto& s : stats) result.stats += s;
   auto [first, last] = std::minmax_element(finished.begin(), finished.end());
   result.join_skew_seconds =

@@ -370,11 +370,16 @@ TEST(Metrics, AggregateFoldsEventsIntoCountersAndHistograms) {
       make_event(EventKind::kPsro, 11, 1, 0, 0),
       make_event(EventKind::kSafePointResponse, 12, 2, 0, 0),
       make_event(EventKind::kDeferredFlush, 13, 6, 0, 0),
+      make_event(EventKind::kLeaseExpired, 14, 3, 42, 4096),
+      make_event(EventKind::kQuarantine, 15, 3, 9, 2),
+      make_event(EventKind::kSeizure, 16, 500, 10, 3),
+      make_event(EventKind::kSeizure, 17, 30, 11, 3),
+      make_event(EventKind::kGovernorFlip, 18, 1, 2, 0),
   };
   snap.threads.push_back(std::move(t));
 
   MetricsRegistry reg = aggregate_metrics(snap);
-  EXPECT_EQ(reg.counter("ht_events_total"), 13u);
+  EXPECT_EQ(reg.counter("ht_events_total"), 18u);
   EXPECT_EQ(reg.counter("ht_events_dropped_total"), 5u);
   EXPECT_EQ(reg.counter("ht_coord_roundtrips_total"), 2u);
   EXPECT_EQ(reg.counter("ht_coord_implicit_total"), 1u);
@@ -396,6 +401,16 @@ TEST(Metrics, AggregateFoldsEventsIntoCountersAndHistograms) {
   EXPECT_EQ(reg.histogram("ht_pess_wait_cycles").count(), 1u);
   EXPECT_EQ(reg.histogram("ht_pess_wait_cycles").sum(), 10u);
   EXPECT_EQ(reg.histogram("ht_region_restart_cycles").sum(), 1000u);
+
+  // Resilience events (DESIGN.md §11): counted per kind, seizure latency
+  // folded into its own log2 histogram.
+  EXPECT_EQ(reg.counter("ht_lease_expiries_total"), 1u);
+  EXPECT_EQ(reg.counter("ht_quarantines_total"), 1u);
+  EXPECT_EQ(reg.counter("ht_seizures_total"), 2u);
+  EXPECT_EQ(reg.counter("ht_governor_flips_total"), 1u);
+  EXPECT_EQ(reg.histogram("ht_seizure_cycles").count(), 2u);
+  EXPECT_EQ(reg.histogram("ht_seizure_cycles").sum(), 530u);
+  EXPECT_EQ(reg.histogram("ht_seizure_cycles").max(), 500u);
 }
 
 // --- exporter golden strings -------------------------------------------------
@@ -468,6 +483,47 @@ TEST(ChromeTrace, GoldenOutput) {
   std::string error;
   EXPECT_TRUE(validate_chrome_trace(expected, &events, &error)) << error;
   EXPECT_EQ(events, 4u);
+}
+
+TEST(ChromeTrace, ResilienceEventsGolden) {
+  TraceSnapshot snap;
+  snap.cycles_per_second = 1e6;  // 1 cycle == 1 us
+  snap.base_tsc = 100;
+  ThreadTrace t;
+  t.tid = 1;
+  t.recorded = 4;
+  t.events = {make_event(EventKind::kLeaseExpired, 110, 2, 7, 4096, 1),
+              make_event(EventKind::kQuarantine, 120, 2, 9, 3, 1),
+              make_event(EventKind::kSeizure, 180, 40, 5, 2, 1),
+              make_event(EventKind::kGovernorFlip, 200, 1, 2, 0, 1)};
+  snap.threads.push_back(std::move(t));
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"hybrid-tracking\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"T1\"}},"
+      "{\"name\":\"lease_expired\",\"cat\":\"resilience\",\"pid\":1,"
+      "\"tid\":1,\"ph\":\"i\",\"s\":\"t\",\"ts\":10.000,"
+      "\"args\":{\"owner_tid\":2,\"ticket\":7,\"stalled_epochs\":4096}},"
+      "{\"name\":\"quarantine\",\"cat\":\"resilience\",\"pid\":1,"
+      "\"tid\":1,\"ph\":\"i\",\"s\":\"t\",\"ts\":20.000,"
+      "\"args\":{\"victim_tid\":2,\"status_epoch\":9,"
+      "\"tickets_released\":3}},"
+      "{\"name\":\"seizure\",\"cat\":\"resilience\",\"pid\":1,\"tid\":1,"
+      "\"ph\":\"X\",\"ts\":40.000,\"dur\":40.000,"
+      "\"args\":{\"cycles\":40,\"object\":5,\"victim_tid\":2}},"
+      "{\"name\":\"governor_flip\",\"cat\":\"resilience\",\"pid\":1,"
+      "\"tid\":1,\"ph\":\"i\",\"s\":\"t\",\"ts\":100.000,"
+      "\"args\":{\"degraded\":true,\"storm_windows\":2,"
+      "\"calm_windows\":0}}]}";
+  EXPECT_EQ(to_chrome_trace_json(snap), expected);
+
+  std::size_t events = 0;
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(expected, &events, &error)) << error;
+  EXPECT_EQ(events, 6u);
 }
 
 TEST(ChromeTrace, ValidatorRejectsGarbage) {

@@ -13,9 +13,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "faultinject/fault_injector.hpp"
+#include "recorder/recorder.hpp"
+#include "recorder/recording_io.hpp"
+#include "resilience/governor.hpp"
+#include "resilience/quarantine.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_io.hpp"
@@ -36,7 +43,11 @@ int usage() {
                "usage: workload_run --profile <name> "
                "[--tracker hybrid|optimistic|pessimistic|ideal|all] "
                "[--trials <n>] [--json <path>] [--trace <path>] "
-               "[--top <n>]\n");
+               "[--top <n>]\n"
+               "       workload_run --profile <name> --chaos "
+               "[--chaos-seed <n>] [--death-p100k <n>] [--stall-epochs <n>] "
+               "[--on-stall quarantine|continue] [--record <path>] "
+               "[--trace <path>]\n");
   return 2;
 }
 
@@ -47,7 +58,122 @@ struct Options {
   std::string json_path;
   std::string trace_path;
   long top_n = 0;
+  // Chaos mode (DESIGN.md §11 / README "chaos workload quickstart"): one
+  // hybrid run under injected stuck threads and torn recording writes, with
+  // the watchdog escalating to quarantine and the recording streamed
+  // crash-tolerantly. Replaces the timed trials.
+  bool chaos = false;
+  std::uint64_t chaos_seed = 42;
+  // Default tuned so deaths land mid-body, when victims hold deferred locks
+  // worth seizing (higher rates kill threads during init, before they own
+  // anything; see DESIGN.md §11.5).
+  std::uint32_t death_p100k = 5;
+  std::uint64_t stall_epochs = 512;
+  WatchdogConfig::OnStall on_stall = WatchdogConfig::OnStall::kQuarantine;
+  std::string record_path;
 };
+
+// One chaos run. Exit codes: 0 run completed, 5 output I/O error.
+int run_chaos(const Options& opt, const WorkloadConfig& cfg,
+              WorkloadData& data) {
+  using Tracker = HybridTracker<true, DependenceRecorder>;
+
+  FaultConfig fc;
+  fc.seed = opt.chaos_seed;
+  fc.enable(FaultSite::kThreadDeath, opt.death_p100k);
+  // Chaos deaths are PERMANENT stalls (DESIGN.md §11): the dead thread
+  // freezes at every safe-point flavor, so only quarantine + seizure (or
+  // fail-fast) can complete the run.
+  fc.stuck_death = true;
+  // Slow-I/O flavor: torn recording writes as a transient burst the stream
+  // writer's capped retry outlives.
+  fc.enable(FaultSite::kIoShortWrite, 2'000);
+  fc.io_failure_cap = 2;
+  FaultInjector injector(fc);
+
+  telemetry::TelemetrySession session;
+
+  // Standard self-healing wiring: lease expiry -> quarantine -> sweep every
+  // object the victim still owns and seal its dependence log.
+  resilience::QuarantineSweep sweep(
+      [&data](const std::function<void(ObjectMeta&)>& fn) {
+        data.for_each_meta(fn);
+      });
+
+  RuntimeConfig rc;
+  rc.watchdog.on_stall = opt.on_stall;
+  rc.watchdog.stall_epochs = opt.stall_epochs;
+  rc.fault_injector = &injector;
+  rc.telemetry = &session;
+  rc.resilience.on_quarantine = std::ref(sweep);
+  Runtime rt(rc);
+
+  DependenceRecorder recorder(rt);
+  sweep.set_seal([&recorder](ThreadId v) { recorder.on_quarantine(v); });
+
+  std::optional<RecordingStreamWriter> writer;
+  if (!opt.record_path.empty()) {
+    writer.emplace(opt.record_path, static_cast<std::uint32_t>(cfg.threads),
+                   &injector);
+    if (!writer->ok()) {
+      std::fprintf(stderr, "workload_run: cannot open %s\n",
+                   opt.record_path.c_str());
+      return 5;
+    }
+    recorder.set_stream_writer(&*writer);
+  }
+
+  Tracker trk(rt, HybridConfig{}, &recorder);
+  resilience::ResilienceGovernor governor(&trk.policy());
+
+  WorkloadRunResult r = run_workload(cfg, data, [&](ThreadId) {
+    return DirectApi<Tracker>(rt, trk, &recorder);
+  });
+
+  if (writer.has_value()) {
+    const bool stream_ok =
+        recorder.finish_stream(static_cast<ThreadId>(cfg.threads)) &&
+        writer->ok();
+    if (!stream_ok) {
+      std::fprintf(stderr, "workload_run: recording stream to %s failed\n",
+                   opt.record_path.c_str());
+      return 5;
+    }
+    std::printf("recording -> %s\n", opt.record_path.c_str());
+  }
+
+  telemetry::TraceSnapshot snap = session.drain();
+  // Post-hoc governor window over the whole run: any quarantine or lease
+  // expiry classifies it as a storm (live embedders feed periodic windows).
+  const resilience::WindowSample w = resilience::window_from_snapshot(snap);
+  governor.note_window(w);
+  governor.note_window(w);
+
+  std::printf(
+      "chaos run [%s/hybrid]: %.4fs, %d thread(s) quarantined, "
+      "%llu object(s) seized, governor %s (storm=%d)\n",
+      cfg.name, r.seconds, r.quarantined,
+      static_cast<unsigned long long>(sweep.objects_seized()),
+      governor.degraded() ? "degraded" : "nominal", governor.is_storm(w));
+  std::printf("%s\n", injector.summary().c_str());
+
+  if (!opt.trace_path.empty()) {
+    if (!telemetry::save_trace(snap, opt.trace_path)) {
+      std::fprintf(stderr, "workload_run: cannot write %s\n",
+                   opt.trace_path.c_str());
+      return 5;
+    }
+    std::printf("trace: %llu events from %zu threads -> %s\n",
+                static_cast<unsigned long long>(snap.total_events()),
+                snap.threads.size(), opt.trace_path.c_str());
+#if !HT_TELEM_AVAILABLE
+    std::fprintf(stderr,
+                 "workload_run: warning: built without -DHT_TELEMETRY=ON; "
+                 "the trace records no events\n");
+#endif
+  }
+  return 0;
+}
 
 // Runs the timed trials for one tracker configuration and adds its row
 // (trial series + merged transition statistics) to the report.
@@ -139,6 +265,27 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       opt.top_n = std::atol(argv[++i]);
       if (opt.top_n <= 0) return usage();
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      opt.chaos = true;
+    } else if (std::strcmp(argv[i], "--chaos-seed") == 0 && i + 1 < argc) {
+      opt.chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--death-p100k") == 0 && i + 1 < argc) {
+      opt.death_p100k =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--stall-epochs") == 0 && i + 1 < argc) {
+      opt.stall_epochs = std::strtoull(argv[++i], nullptr, 10);
+      if (opt.stall_epochs == 0) return usage();
+    } else if (std::strcmp(argv[i], "--on-stall") == 0 && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "quarantine") {
+        opt.on_stall = WatchdogConfig::OnStall::kQuarantine;
+      } else if (v == "continue") {
+        opt.on_stall = WatchdogConfig::OnStall::kContinue;
+      } else {
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc) {
+      opt.record_path = argv[++i];
     } else {
       std::fprintf(stderr, "workload_run: unknown argument '%s'\n", argv[i]);
       return usage();
@@ -156,6 +303,8 @@ int main(int argc, char** argv) {
   const double scale = scale_from_env();
   const WorkloadConfig cfg = profile_by_name(opt.profile.c_str(), scale);
   WorkloadData data(cfg);
+
+  if (opt.chaos) return run_chaos(opt, cfg, data);
 
   BenchJsonReport report("workload_run");
   report.set_meta("profile", json::Value(opt.profile));
