@@ -1,0 +1,147 @@
+#include "analysis/hb_engine/hb_order.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ht::analysis {
+
+NodeRef HbOrder::unflat(std::size_t id) const {
+  // offsets_ is small (one entry per thread); linear scan is fine.
+  ThreadId t = 0;
+  while (t + 1 < offsets_.size() - 1 && offsets_[t + 1] <= id) ++t;
+  return NodeRef{t, id - offsets_[t]};
+}
+
+HbOrder HbOrder::build(const Trace& trace) {
+  HbOrder o;
+  const std::size_t n = trace.thread_count();
+  o.offsets_.assign(n + 1, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    o.offsets_[t + 1] = o.offsets_[t] + trace.threads[t].size();
+  }
+  o.nodes_ = o.offsets_[n];
+
+  std::vector<std::vector<std::size_t>> succ(o.nodes_);
+  std::vector<std::size_t> indegree(o.nodes_, 0);
+  const auto add_arc = [&](std::size_t u, std::size_t v) {
+    succ[u].push_back(v);
+    ++indegree[v];
+  };
+
+  // Program order.
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i + 1 < trace.threads[t].size(); ++i) {
+      add_arc(o.offsets_[t] + i, o.offsets_[t] + i + 1);
+    }
+  }
+
+  // Stamped bumps per thread, in program order (stamps of a genuine trace
+  // are strictly increasing; the lint checks that before building).
+  std::vector<std::vector<std::size_t>> bump_index(n);
+  std::vector<std::vector<std::uint64_t>> bump_stamp(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < trace.threads[t].size(); ++i) {
+      const TraceEvent& e = trace.threads[t][i];
+      if (e.is_bump() && e.value != 0) {
+        bump_index[t].push_back(i);
+        bump_stamp[t].push_back(e.value);
+      }
+    }
+  }
+
+  // Dependence anchoring: edge (t, i) needing (src, v) <- last bump of src
+  // stamped <= v.
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < trace.threads[t].size(); ++i) {
+      const TraceEvent& e = trace.threads[t][i];
+      if (e.kind != TraceEventKind::kEdge) continue;
+      if (e.src >= n) continue;  // structural validation's job; stay safe
+      const auto& stamps = bump_stamp[e.src];
+      auto it = std::upper_bound(stamps.begin(), stamps.end(), e.value);
+      if (it == stamps.begin()) continue;  // satisfied by unlogged bumps
+      const std::size_t j = bump_index[e.src][(it - stamps.begin()) - 1];
+      add_arc(o.offsets_[e.src] + j, o.offsets_[t] + i);
+      ++o.cross_arcs_;
+      o.cross_list_.push_back({NodeRef{e.src, j},
+                               NodeRef{static_cast<ThreadId>(t), i}});
+    }
+  }
+
+  // Lock synchronization (annotated traces): per lock, release -> next
+  // acquire in the observed global order.
+  if (trace.annotated) {
+    struct LockEvent {
+      std::uint64_t seq;
+      std::size_t node;
+      bool release;
+    };
+    std::map<int, std::vector<LockEvent>> per_lock;
+    for (std::size_t t = 0; t < n; ++t) {
+      for (std::size_t i = 0; i < trace.threads[t].size(); ++i) {
+        const TraceEvent& e = trace.threads[t][i];
+        if (e.kind == TraceEventKind::kAcquire ||
+            e.kind == TraceEventKind::kRelease) {
+          per_lock[e.lock].push_back(
+              {e.seq, o.offsets_[t] + i,
+               e.kind == TraceEventKind::kRelease});
+        }
+      }
+    }
+    for (auto& [lock, evs] : per_lock) {
+      std::sort(evs.begin(), evs.end(),
+                [](const LockEvent& a, const LockEvent& b) {
+                  return a.seq < b.seq;
+                });
+      for (std::size_t k = 0; k < evs.size(); ++k) {
+        if (!evs[k].release) continue;
+        for (std::size_t m = k + 1; m < evs.size(); ++m) {
+          if (!evs[m].release) {
+            add_arc(evs[k].node, evs[m].node);
+            ++o.cross_arcs_;
+            o.cross_list_.push_back(
+                {o.unflat(evs[k].node), o.unflat(evs[m].node)});
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Kahn sort; vector clocks and chain depths computed along the way (every
+  // predecessor is finalized before its successors pop).
+  o.clocks_.assign(o.nodes_, VectorClock(n));
+  std::vector<std::size_t> depth(o.nodes_, 0);
+  std::vector<std::size_t> ready;
+  std::vector<std::size_t> remaining = indegree;
+  for (std::size_t u = 0; u < o.nodes_; ++u) {
+    if (remaining[u] == 0) ready.push_back(u);
+  }
+  std::size_t sorted = 0;
+  while (!ready.empty()) {
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    ++sorted;
+    const NodeRef r = o.unflat(u);
+    o.clocks_[u].set(r.thread, r.index + 1);
+    depth[u] += 1;
+    o.critical_path_ = std::max(o.critical_path_, depth[u]);
+    for (std::size_t v : succ[u]) {
+      o.clocks_[v].join(o.clocks_[u]);
+      depth[v] = std::max(depth[v], depth[u]);
+      if (--remaining[v] == 0) ready.push_back(v);
+    }
+  }
+  o.unsorted_ = o.nodes_ - sorted;
+  if (o.unsorted_ != 0) {
+    o.critical_path_ = 0;  // meaningless through a cycle
+    for (std::size_t u = 0; u < o.nodes_; ++u) {
+      if (remaining[u] > 0) {
+        o.first_cyclic_ = o.unflat(u);
+        break;
+      }
+    }
+  }
+  return o;
+}
+
+}  // namespace ht::analysis

@@ -1,0 +1,103 @@
+// Offline happens-before partial order over a Trace (DESIGN.md §12.2).
+//
+// The event graph contains one node per trace event and two arc families:
+//
+//   * program order — consecutive events of the same thread;
+//   * cross-thread arcs —
+//       - dependence anchoring (sync traces): an edge event requiring source
+//         S to reach counter v gets an arc from the LAST bump of S stamped
+//         <= v. A bump stamped w <= v happened in real time before any
+//         access that waited for S's counter to reach v, so real-time order
+//         contains the arc (the anchor is sound); with kRegionEnd marks
+//         every bump is logged and the anchor is exact (stamp == v).
+//         Zero-stamped bumps (legacy recordings) are "unknown": they never
+//         anchor an arc and the edge falls back to the last earlier stamp.
+//       - lock synchronization (annotated traces): each release of lock L is
+//         ordered before the next acquire of L in the observed global order
+//         — exactly the sync the runtime FastTrack detector tracks, so the
+//         offline and runtime HB relations agree by construction.
+//
+// A Kahn topological sort proves acyclicity (a genuine trace's graph embeds
+// in real time, so a cycle proves corruption — or, at region granularity, a
+// serializability violation). Per-event vector clocks are then computed once
+// in topological order, making every subsequent happens_before query an O(1)
+// component comparison: clock(e)[t] counts the events of thread t ordered
+// at-or-before e, so a strictly-before b iff clock(b)[a.thread] > a.index.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "analysis/hb_engine/hb_trace.hpp"
+#include "common/vector_clock.hpp"
+
+namespace ht::analysis {
+
+// Position of an event in a Trace: threads[thread][index].
+struct NodeRef {
+  ThreadId thread = kNoThread;
+  std::size_t index = 0;
+
+  bool operator==(const NodeRef&) const = default;
+};
+
+class HbOrder {
+ public:
+  // Builds the event graph, runs the topological sort, and (when acyclic)
+  // computes the per-event vector clocks. The trace must outlive the order.
+  static HbOrder build(const Trace& trace);
+
+  bool acyclic() const { return unsorted_ == 0; }
+  std::size_t node_count() const { return nodes_; }
+  std::size_t cross_arc_count() const { return cross_arcs_; }
+  std::size_t unsorted_count() const { return unsorted_; }
+  // A node stuck in a cycle (lowest thread, then program order) — the lint's
+  // diagnosability anchor. Empty when acyclic.
+  std::optional<NodeRef> first_cyclic() const { return first_cyclic_; }
+
+  // Strict happens-before between two events. Meaningful only on acyclic
+  // orders (clocks are not computed through cycles).
+  bool happens_before(NodeRef a, NodeRef b) const {
+    if (a == b) return false;
+    return clock(b).get(a.thread) > a.index;
+  }
+  bool concurrent(NodeRef a, NodeRef b) const {
+    return !(a == b) && !happens_before(a, b) && !happens_before(b, a);
+  }
+
+  const VectorClock& clock(NodeRef n) const {
+    return clocks_[flat(n)];
+  }
+
+  // Longest chain in the DAG, counted in events — the replay-parallelism
+  // limit: no execution respecting the recorded order can finish in fewer
+  // than this many sequential steps. 0 for empty traces or cyclic graphs.
+  std::size_t critical_path_length() const { return critical_path_; }
+
+  // The cross-thread arcs (dependence anchors + lock sync), for analyses
+  // that need the graph itself rather than the order it induces (the region
+  // serializability checker maps these onto enforcer regions).
+  struct Arc {
+    NodeRef from;
+    NodeRef to;
+  };
+  const std::vector<Arc>& cross_arcs() const { return cross_list_; }
+
+ private:
+  std::size_t flat(NodeRef n) const {
+    return offsets_[n.thread] + n.index;
+  }
+  NodeRef unflat(std::size_t id) const;
+
+  std::size_t nodes_ = 0;
+  std::size_t cross_arcs_ = 0;
+  std::size_t unsorted_ = 0;
+  std::size_t critical_path_ = 0;
+  std::optional<NodeRef> first_cyclic_;
+  std::vector<std::size_t> offsets_;  // per-thread flat-id base, + sentinel
+  std::vector<VectorClock> clocks_;   // per flat id; empty clocks if cyclic
+  std::vector<Arc> cross_list_;
+};
+
+}  // namespace ht::analysis

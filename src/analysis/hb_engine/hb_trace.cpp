@@ -1,0 +1,73 @@
+#include "analysis/hb_engine/hb_trace.hpp"
+
+namespace ht::analysis {
+
+Trace trace_from_recording(const Recording& recording) {
+  Trace tr;
+  tr.threads.resize(recording.threads.size());
+  for (std::size_t t = 0; t < recording.threads.size(); ++t) {
+    auto& out = tr.threads[t];
+    out.reserve(recording.threads[t].events.size());
+    for (const LogEvent& e : recording.threads[t].events) {
+      TraceEvent ev;
+      ev.thread = static_cast<ThreadId>(t);
+      ev.point = e.point;
+      ev.value = e.value;
+      if (e.type == LogEventType::kEdge) {
+        ev.kind = TraceEventKind::kEdge;
+        ev.src = e.src;
+      } else {
+        ev.kind = TraceEventKind::kBump;
+      }
+      out.push_back(ev);
+    }
+  }
+  return tr;
+}
+
+TraceBuilder::TraceBuilder(int nthreads)
+    : bump_counts_(static_cast<std::size_t>(nthreads), 0) {
+  trace_.threads.resize(static_cast<std::size_t>(nthreads));
+  trace_.annotated = true;
+}
+
+void TraceBuilder::on_op(std::uint64_t seq, int slot, const OpView& op) {
+  auto& out = trace_.threads[static_cast<std::size_t>(slot)];
+  TraceEvent ev;
+  ev.thread = static_cast<ThreadId>(slot);
+  ev.point = seq;
+  ev.seq = seq;
+  switch (op.kind) {
+    case OpView::Kind::kLoad:
+      ev.kind = TraceEventKind::kRead;
+      ev.obj = op.obj;
+      break;
+    case OpView::Kind::kStore:
+      ev.kind = TraceEventKind::kWrite;
+      ev.obj = op.obj;
+      break;
+    case OpView::Kind::kLockAcquire:
+      ev.kind = TraceEventKind::kAcquire;
+      ev.lock = op.lock;
+      break;
+    case OpView::Kind::kLockRelease:
+      ev.kind = TraceEventKind::kRelease;
+      ev.lock = op.lock;
+      break;
+    case OpView::Kind::kPsro:
+    case OpView::Kind::kBlockWindow:
+      // Both bump the executing thread's release counter (BlockWindow bumps
+      // on entry; the exit epoch tick is not a bump). Stamp with the
+      // post-bump count, mirroring the recorder's stamping discipline.
+      ev.kind = TraceEventKind::kBump;
+      ev.value = ++bump_counts_[static_cast<std::size_t>(slot)];
+      break;
+    case OpView::Kind::kOther:
+      return;  // no HB-relevant footprint at this layer
+  }
+  out.push_back(ev);
+}
+
+Trace TraceBuilder::take() { return std::move(trace_); }
+
+}  // namespace ht::analysis

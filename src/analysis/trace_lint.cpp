@@ -1,8 +1,9 @@
 #include "analysis/trace_lint.hpp"
 
-#include <algorithm>
 #include <sstream>
 
+#include "analysis/hb_engine/hb_order.hpp"
+#include "analysis/hb_engine/hb_trace.hpp"
 #include "recorder/recording_io.hpp"
 
 namespace ht::analysis {
@@ -15,24 +16,27 @@ void issue(LintResult& res, std::size_t thread, std::size_t event,
       {static_cast<ThreadId>(thread), event, std::move(message)});
 }
 
-// Stamped (nonzero-value) responses of one thread, in program order.
-struct StampedResponses {
-  std::vector<std::size_t> index;   // event index in the thread's log
-  std::vector<std::uint64_t> value; // post-bump counter stamps
-  bool fully_stamped = true;        // no zero-valued responses seen
+// Stamped bumps (kResponse / kRegionEnd with a nonzero stamp) of one thread,
+// in program order. A zero stamp is the legacy "unknown" sentinel — the
+// event is still a real bump (it counts toward `ordinal`) but its stamp
+// participates in no value check.
+struct StampedBumps {
+  std::vector<std::size_t> index;     // event index in the thread's log
+  std::vector<std::uint64_t> value;   // post-bump counter stamps
+  std::vector<std::size_t> ordinal;   // 1-based position among ALL bumps
 };
 
-StampedResponses collect_responses(const ThreadLog& log) {
-  StampedResponses r;
+StampedBumps collect_bumps(const ThreadLog& log) {
+  StampedBumps r;
+  std::size_t bumps = 0;
   for (std::size_t i = 0; i < log.events.size(); ++i) {
     const LogEvent& e = log.events[i];
-    if (e.type != LogEventType::kResponse) continue;
-    if (e.value == 0) {
-      r.fully_stamped = false;  // pre-stamping recording (or legacy v1)
-      continue;
-    }
+    if (!e.is_bump()) continue;
+    ++bumps;
+    if (e.value == 0) continue;  // unknown stamp: skip monotonicity for it
     r.index.push_back(i);
     r.value.push_back(e.value);
+    r.ordinal.push_back(bumps);
   }
   return r;
 }
@@ -48,22 +52,22 @@ LintResult lint_recording(const Recording& recording, bool salvaged) {
   if (!res.structure.ok()) return res;
 
   const std::size_t n = recording.threads.size();
-  std::vector<StampedResponses> responses(n);
   bool stamps_consistent = true;
   for (std::size_t t = 0; t < n; ++t) {
     const ThreadLog& log = recording.threads[t];
-    responses[t] = collect_responses(log);
-    const StampedResponses& r = responses[t];
-    // Release counters are bumped monotonically and each logged response is
-    // itself a bump, so stamps are strictly increasing and (when every
-    // response carries a stamp) the k-th is at least k.
+    const StampedBumps r = collect_bumps(log);
+    // Release counters are bumped monotonically and each logged bump event
+    // is itself a bump, so stamped values are strictly increasing, and the
+    // k-th logged bump — counting every bump event, stamped or not — has a
+    // post-bump counter of at least k. Both hold in mixed legacy/v2 logs:
+    // unknown (zero) stamps skip the value checks but still count as bumps.
     for (std::size_t k = 0; k < r.value.size(); ++k) {
       if (k > 0 && r.value[k] <= r.value[k - 1]) {
         issue(res, t, r.index[k],
               "response counter stamp not strictly increasing");
         stamps_consistent = false;
       }
-      if (r.fully_stamped && r.value[k] < k + 1) {
+      if (r.value[k] < r.ordinal[k]) {
         issue(res, t, r.index[k],
               "response counter stamp below the response count (counter "
               "not monotone)");
@@ -90,69 +94,22 @@ LintResult lint_recording(const Recording& recording, bool salvaged) {
   if (!stamps_consistent) return res;
 
   // ---- Cross-thread dependence graph --------------------------------------
-  // Nodes: every log event. Arcs: program order within each thread, plus,
-  // for each edge event (t, i) requiring source s to reach counter v, an arc
-  // from the LAST response of s stamped <= v (earlier ones follow through
-  // s's program order). A response stamped w <= v happened in real time
-  // before any access that waited for s's counter to reach v, so real-time
-  // order contains every arc: a genuine recording's graph is acyclic, and
-  // acyclicity (a successful Kahn sort) is exactly "every recorded wr->rd
-  // edge is consistent with a topological order".
-  std::vector<std::size_t> offset(n + 1, 0);
-  for (std::size_t t = 0; t < n; ++t)
-    offset[t + 1] = offset[t] + recording.threads[t].events.size();
-  const std::size_t nodes = offset[n];
-  res.graph_nodes = nodes;
-  std::vector<std::vector<std::size_t>> succ(nodes);
-  std::vector<std::size_t> indegree(nodes, 0);
-  auto add_arc = [&](std::size_t u, std::size_t v) {
-    succ[u].push_back(v);
-    ++indegree[v];
-  };
-  for (std::size_t t = 0; t < n; ++t) {
-    const ThreadLog& log = recording.threads[t];
-    for (std::size_t i = 0; i + 1 < log.events.size(); ++i)
-      add_arc(offset[t] + i, offset[t] + i + 1);
-    for (std::size_t i = 0; i < log.events.size(); ++i) {
-      const LogEvent& e = log.events[i];
-      if (e.type != LogEventType::kEdge) continue;
-      const StampedResponses& src = responses[e.src];
-      // Last stamp <= e.value (stamps are strictly increasing here).
-      auto it = std::upper_bound(src.value.begin(), src.value.end(), e.value);
-      if (it == src.value.begin()) continue;  // satisfied by unlogged bumps
-      const std::size_t j = src.index[(it - src.value.begin()) - 1];
-      add_arc(offset[e.src] + j, offset[t] + i);
-      ++res.graph_arcs;
-    }
-  }
-  std::vector<std::size_t> ready;
-  for (std::size_t u = 0; u < nodes; ++u)
-    if (indegree[u] == 0) ready.push_back(u);
-  std::size_t sorted = 0;
-  while (!ready.empty()) {
-    const std::size_t u = ready.back();
-    ready.pop_back();
-    ++sorted;
-    for (std::size_t v : succ[u])
-      if (--indegree[v] == 0) ready.push_back(v);
-  }
-  if (sorted != nodes) {
-    // Report the first event stuck in a cycle for diagnosability.
-    for (std::size_t t = 0; t < n; ++t) {
-      bool found = false;
-      for (std::size_t i = 0; i < recording.threads[t].events.size(); ++i) {
-        if (indegree[offset[t] + i] > 0) {
-          std::ostringstream os;
-          os << "cross-thread dependence graph has a cycle ("
-             << (nodes - sorted)
-             << " event(s) unorderable; no topological order exists)";
-          issue(res, t, i, os.str());
-          found = true;
-          break;
-        }
-      }
-      if (found) break;
-    }
+  // Shared with the offline happens-before engine (hb_engine/hb_order.hpp):
+  // nodes are log events, program order chains each thread's log, and each
+  // edge event requiring (S, v) gets an arc from the last stamped bump of S
+  // <= v. Real-time order contains every arc, so a genuine recording's graph
+  // is acyclic; a cycle proves the file was corrupted, spliced, or forged.
+  const Trace trace = trace_from_recording(recording);
+  const HbOrder hb = HbOrder::build(trace);
+  res.graph_nodes = hb.node_count();
+  res.graph_arcs = hb.cross_arc_count();
+  if (!hb.acyclic()) {
+    const NodeRef cyc = hb.first_cyclic().value_or(NodeRef{});
+    std::ostringstream os;
+    os << "cross-thread dependence graph has a cycle ("
+       << hb.unsorted_count()
+       << " event(s) unorderable; no topological order exists)";
+    issue(res, cyc.thread, cyc.index, os.str());
   }
   return res;
 }

@@ -8,20 +8,23 @@
 //       are reads of that counter taken at program-ordered moments — so for
 //       a fixed (sink thread, source thread) pair, edge values are
 //       non-decreasing in the sink's program order;
-//   (2) response events are stamped with the post-bump counter, so a
-//       thread's stamped response values are strictly increasing, the k-th
-//       stamped response is at least k (each response is itself a bump), and
-//       a response of S stamped w happened in real time before any access
-//       that waited for S's counter to reach v >= w.
+//   (2) bump events (kResponse and kRegionEnd) are stamped with the
+//       post-bump counter, so a thread's stamped values are strictly
+//       increasing, the k-th logged bump has a stamp of at least k, and a
+//       bump of S stamped w happened in real time before any access that
+//       waited for S's counter to reach v >= w. A zero stamp is the legacy
+//       "unknown" sentinel (pre-stamping recordings): the event still
+//       counts as a bump, but its value participates in no check.
 //
-// Fact (2) turns the recording into a cross-thread dependence graph: nodes
+// Fact (2) turns the recording into a cross-thread dependence graph — built
+// by the shared offline happens-before core (hb_engine/hb_order.hpp): nodes
 // are log events, program order chains each thread's log, and each edge
-// event (T, i) requiring (S, v) gets an arc from the last response of S
+// event (T, i) requiring (S, v) gets an arc from the last bump of S
 // stamped <= v. Real-time order contains every arc, so a genuine recording's
 // graph is acyclic and its wr->rd edges are consistent with any topological
 // order of it; a cycle proves the file was corrupted, spliced, or
 // hand-forged. Recordings made before response stamping (all-zero values)
-// degrade gracefully: no responses participate and the graph checks pass
+// degrade gracefully: no bumps participate and the graph checks pass
 // vacuously.
 #pragma once
 

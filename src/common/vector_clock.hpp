@@ -1,0 +1,95 @@
+// Vector clocks and epochs — the happens-before machinery shared by the
+// runtime FastTrack-style race detector (raceck/race_detector.hpp) and the
+// offline happens-before engine (analysis/hb_engine/).
+//
+// An epoch packs (thread id, scalar clock) into one word — FastTrack's key
+// representation trick: most variables are read and written by one thread at
+// a time, so one epoch, not a whole vector, usually suffices. The offline
+// engine uses the full VectorClock form: one clock per trace event, computed
+// once in topological order, so happens-before queries between arbitrary
+// events are O(1) lookups afterwards.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "metadata/state_word.hpp"
+
+namespace ht {
+
+// Packed (tid, clock): tid in the top 12 bits, clock in the low 52.
+class Epoch {
+ public:
+  Epoch() : bits_(0) {}
+  Epoch(ThreadId tid, std::uint64_t clock)
+      : bits_((static_cast<std::uint64_t>(tid) << 52) | clock) {
+    HT_DASSERT(clock < (1ULL << 52), "epoch clock overflow");
+  }
+
+  ThreadId tid() const { return static_cast<ThreadId>(bits_ >> 52); }
+  std::uint64_t clock() const { return bits_ & ((1ULL << 52) - 1); }
+  std::uint64_t raw() const { return bits_; }
+  bool is_zero() const { return bits_ == 0; }
+
+  bool operator==(const Epoch& o) const = default;
+
+ private:
+  std::uint64_t bits_;
+};
+
+class VectorClock {
+ public:
+  explicit VectorClock(std::size_t threads = 0) : clocks_(threads, 0) {}
+
+  std::uint64_t get(ThreadId t) const {
+    return t < clocks_.size() ? clocks_[t] : 0;
+  }
+
+  void set(ThreadId t, std::uint64_t v) {
+    ensure(t);
+    clocks_[t] = v;
+  }
+
+  void tick(ThreadId t) {
+    ensure(t);
+    ++clocks_[t];
+  }
+
+  // this |= other (pointwise max): the "join" at acquire operations.
+  void join(const VectorClock& other) {
+    if (other.clocks_.size() > clocks_.size()) {
+      clocks_.resize(other.clocks_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i) {
+      clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+  }
+
+  // epoch (c@t) happens-before (or equals) this clock iff c <= this[t].
+  bool covers(const Epoch& e) const { return e.clock() <= get(e.tid()); }
+
+  // Every component of other <= this.
+  bool covers_all(const VectorClock& other) const {
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i) {
+      if (other.clocks_[i] > get(static_cast<ThreadId>(i))) return false;
+    }
+    return true;
+  }
+
+  Epoch epoch_of(ThreadId t) const { return Epoch(t, get(t)); }
+
+  std::size_t size() const { return clocks_.size(); }
+
+  void clear() { std::fill(clocks_.begin(), clocks_.end(), 0); }
+
+ private:
+  void ensure(ThreadId t) {
+    if (t >= clocks_.size()) clocks_.resize(t + 1, 0);
+  }
+
+  std::vector<std::uint64_t> clocks_;
+};
+
+}  // namespace ht

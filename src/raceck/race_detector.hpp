@@ -50,6 +50,11 @@ class RaceCheckedMeta {
   RaceCheckedMeta(const RaceCheckedMeta&) = delete;
   RaceCheckedMeta& operator=(const RaceCheckedMeta&) = delete;
 
+  // True once any race was counted against this variable. Gives race
+  // reports object identity (RaceReport itself only counts), which the
+  // offline hb_engine's predictive detector is cross-validated against.
+  bool raced() const { return raced_.load(std::memory_order_relaxed); }
+
  private:
   friend class RaceDetector;
 
@@ -62,6 +67,7 @@ class RaceCheckedMeta {
   void unlock() { locked_.store(false, std::memory_order_release); }
 
   std::atomic<bool> locked_{false};
+  std::atomic<bool> raced_{false};
   Epoch write_;
   Epoch read_;          // valid while !read_shared_
   bool read_shared_ = false;
@@ -116,6 +122,7 @@ class RaceDetector {
     if (!m.write_.is_zero() && m.write_.tid() != ctx.id &&
         !t.clock.covers(m.write_)) {
       ++t.races.write_read;
+      m.raced_.store(true, std::memory_order_relaxed);
     }
     if (!m.read_shared_) {
       if (m.read_.is_zero() || m.read_.tid() == ctx.id ||
@@ -142,15 +149,20 @@ class RaceDetector {
     if (!m.write_.is_zero() && m.write_.tid() != ctx.id &&
         !t.clock.covers(m.write_)) {
       ++t.races.write_write;
+      m.raced_.store(true, std::memory_order_relaxed);
     }
     if (m.read_shared_) {
-      if (!t.clock.covers_all(m.read_vc_)) ++t.races.read_write;
+      if (!t.clock.covers_all(m.read_vc_)) {
+        ++t.races.read_write;
+        m.raced_.store(true, std::memory_order_relaxed);
+      }
       m.read_shared_ = false;
       m.read_vc_.clear();
       m.read_ = Epoch{};
     } else if (!m.read_.is_zero() && m.read_.tid() != ctx.id &&
                !t.clock.covers(m.read_)) {
       ++t.races.read_write;
+      m.raced_.store(true, std::memory_order_relaxed);
       m.read_ = Epoch{};
     }
     m.write_ = t.clock.epoch_of(ctx.id);

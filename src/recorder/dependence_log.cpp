@@ -11,7 +11,15 @@ std::size_t ThreadLog::edge_count() const {
 }
 
 std::size_t ThreadLog::response_count() const {
-  return events.size() - edge_count();
+  std::size_t n = 0;
+  for (const auto& e : events) n += e.type == LogEventType::kResponse ? 1 : 0;
+  return n;
+}
+
+std::size_t ThreadLog::region_end_count() const {
+  std::size_t n = 0;
+  for (const auto& e : events) n += e.type == LogEventType::kRegionEnd ? 1 : 0;
+  return n;
 }
 
 std::size_t Recording::total_edges() const {

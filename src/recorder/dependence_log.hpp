@@ -10,9 +10,13 @@
 //                that does not correspond to a deterministic program event
 //                (an explicit coordination response or a blocking entry);
 //                the replayer re-issues the bump at the same point.
-//
-// Deterministic bumps (PSROs, thread exit) are not logged: the replayer
-// performs them at the same program points by construction.
+//   kRegionEnd — this thread performed a *deterministic* release-counter
+//                bump (a PSRO or the thread-exit bump). The replayer ignores
+//                these — it re-issues deterministic bumps at the same
+//                program points by construction — but the offline
+//                happens-before engine needs them: every bump ends an SBRS
+//                region, and the stamps anchor recorded edges to the exact
+//                bump that satisfied them.
 #pragma once
 
 #include <cstdint>
@@ -23,13 +27,19 @@
 
 namespace ht {
 
-enum class LogEventType : std::uint8_t { kEdge, kResponse };
+enum class LogEventType : std::uint8_t { kEdge, kResponse, kRegionEnd };
 
 struct LogEvent {
   std::uint64_t point;
   LogEventType type;
   ThreadId src;         // kEdge only
-  std::uint64_t value;  // kEdge only: required src release-counter value
+  std::uint64_t value;  // kEdge: required src release-counter value;
+                        // kResponse/kRegionEnd: post-bump counter (stamp),
+                        // 0 = unknown (legacy pre-stamping recordings)
+
+  // True for the event kinds that mark a release-counter bump (and hence an
+  // SBRS region boundary): kResponse and kRegionEnd.
+  bool is_bump() const { return type != LogEventType::kEdge; }
 
   bool operator==(const LogEvent&) const = default;
 };
@@ -39,6 +49,7 @@ struct ThreadLog {
 
   std::size_t edge_count() const;
   std::size_t response_count() const;
+  std::size_t region_end_count() const;
 };
 
 // A complete recording: one log per thread plus the thread count, which the

@@ -52,23 +52,26 @@ class DependenceRecorder {
     }
   }
 
-  // --- thread hook --------------------------------------------------------------
+  // --- thread hooks -------------------------------------------------------------
   // Install after the tracker's attach_thread; logs each nondeterministic
-  // release-counter bump so replay can reproduce it. The hook runs after the
-  // bump, so the event is stamped with the post-bump counter: the replayer
-  // ignores it (it re-issues the bump either way), but the offline trace
-  // lint uses the stamps to order responses against dependence edges. Value
-  // 0 marks an unannotated event (pre-stamping recordings) — a real
-  // post-bump counter is always >= 1.
+  // release-counter bump so replay can reproduce it, plus a kRegionEnd mark
+  // at each deterministic bump (PSRO, thread exit) so offline analyses see
+  // every region boundary. Both hooks run after the bump, so events are
+  // stamped with the post-bump counter: the replayer ignores the stamps (it
+  // re-issues nondeterministic bumps and skips region marks), but the
+  // offline trace lint and the happens-before engine use them to order bumps
+  // against dependence edges. Value 0 marks an unannotated event
+  // (pre-stamping recordings) — a real post-bump counter is always >= 1.
   void attach_thread(ThreadContext& ctx) {
     ctx.resp_log_self = this;
     ctx.resp_log_fn = [](void* self, ThreadContext& c) {
-      auto* rec = static_cast<DependenceRecorder*>(self);
-      if (rec->sealed_[c.id].load(std::memory_order_relaxed)) return;
-      rec->logs_[c.id].events.push_back(
-          LogEvent{c.point_index, LogEventType::kResponse, kNoThread,
-                   c.owner_side.release_counter.load(
-                       std::memory_order_relaxed)});
+      static_cast<DependenceRecorder*>(self)->log_bump(
+          c, LogEventType::kResponse);
+    };
+    ctx.region_log_self = this;
+    ctx.region_log_fn = [](void* self, ThreadContext& c) {
+      static_cast<DependenceRecorder*>(self)->log_bump(
+          c, LogEventType::kRegionEnd);
     };
   }
 
@@ -115,6 +118,14 @@ class DependenceRecorder {
   }
 
  private:
+  void log_bump(ThreadContext& ctx, LogEventType type) {
+    if (sealed_[ctx.id].load(std::memory_order_relaxed)) return;
+    logs_[ctx.id].events.push_back(
+        LogEvent{ctx.point_index, type, kNoThread,
+                 ctx.owner_side.release_counter.load(
+                     std::memory_order_relaxed)});
+  }
+
   void stream_thread(ThreadId t) {
     std::lock_guard<std::mutex> g(stream_mu_);
     stream_thread_locked(t);

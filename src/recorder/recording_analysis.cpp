@@ -21,8 +21,10 @@ RecordingAnalysis analyze_recording(const Recording& recording) {
         ++a.edges_out[t];
         if (e.src < a.threads) ++a.edges_in[e.src];
         wait_points.insert({static_cast<ThreadId>(t), e.point});
-      } else {
+      } else if (e.type == LogEventType::kResponse) {
         ++a.total_responses;
+      } else {
+        ++a.total_region_marks;
       }
     }
   }

@@ -20,6 +20,7 @@ struct RecordingAnalysis {
   std::size_t threads = 0;
   std::size_t total_edges = 0;
   std::size_t total_responses = 0;
+  std::size_t total_region_marks = 0;  // deterministic-bump kRegionEnd marks
   std::vector<std::size_t> edges_out;  // edges whose sink is thread i
   std::vector<std::size_t> edges_in;   // edges whose source is thread i
   // Replay-parallelism proxy: a sink thread with many distinct source

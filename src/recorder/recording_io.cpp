@@ -315,7 +315,7 @@ RecordingLoadResult load_v1(std::istream& in) {
       if (!r.get(point) || !r.get(type) || !r.get(src) || !r.get(value)) {
         return fail(RecordingLoadError::kTruncated);
       }
-      if (type > static_cast<std::uint8_t>(LogEventType::kResponse)) {
+      if (type > static_cast<std::uint8_t>(LogEventType::kRegionEnd)) {
         return fail(RecordingLoadError::kChecksum);
       }
       log.events.push_back(LogEvent{point, static_cast<LogEventType>(type),
@@ -431,7 +431,7 @@ RecordingLoadResult load_v2(std::istream& in, FaultInjector* faults) {
       p += sizeof src;
       std::memcpy(&value, p, sizeof value);
       p += sizeof value;
-      if (type > static_cast<std::uint8_t>(LogEventType::kResponse)) {
+      if (type > static_cast<std::uint8_t>(LogEventType::kRegionEnd)) {
         return salvage(RecordingLoadError::kChecksum);
       }
       events.push_back(LogEvent{point, static_cast<LogEventType>(type),

@@ -66,6 +66,10 @@ enum ToolExitCode : int {
   kExitIo = 6,         // open/read failure (kIo)
   kExitStructure = 7,  // loaded, but structural validation failed
   kExitLint = 8,       // loaded and well-formed, but a lint invariant failed
+  // trace_analyze only: loaded, well-formed, lint-clean, but the offline
+  // happens-before engine found a region-serializability violation (a
+  // conflict cycle among enforcer regions — DESIGN.md §12.4).
+  kExitUnserializable = 9,
 };
 
 // Maps a loader failure to its exit code; kNone maps to kExitOk (the caller

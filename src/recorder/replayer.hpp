@@ -79,9 +79,11 @@ class Replayer {
       const LogEvent& e = evs[me.cursor];
       if (e.type == LogEventType::kResponse) {
         me.release_counter.fetch_add(1, std::memory_order_release);
-      } else {
+      } else if (e.type == LogEventType::kEdge) {
         wait_for(me, e.src, e.value);
       }
+      // kRegionEnd: offline-analysis region mark for a deterministic bump;
+      // the replayer already re-issues that bump at the same program point.
       ++me.cursor;
     }
   }

@@ -40,6 +40,7 @@ void Runtime::unregister_thread(ThreadContext& ctx) {
     ctx.run_flush_hook();
   }
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
+  ctx.run_region_log_hook();  // recorder: deterministic bump -> region mark
   HT_TELEM_EVENT(ctx, kThreadExit, ctx.release_counter_relaxed(), 0, 0);
   registry_.mark_exited(ctx);
   // Answer any stragglers that ticketed before seeing the parked status.
@@ -62,6 +63,7 @@ void Runtime::psro(ThreadContext& ctx) {
   renew_lease(ctx);
   ctx.run_flush_hook();
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
+  ctx.run_region_log_hook();  // recorder: deterministic bump -> region mark
   HT_TELEM_EVENT(ctx, kPsro, ctx.release_counter_relaxed(), 0, 0);
   // Pending requests are satisfied by the flush we just performed; the PSRO
   // bump doubles as the responding bump, so no extra increment and no

@@ -27,6 +27,8 @@ void ThreadContext::reset(ThreadId new_id, Runtime* rt) {
   abort_fn = nullptr;
   resp_log_self = nullptr;
   resp_log_fn = nullptr;
+  region_log_self = nullptr;
+  region_log_fn = nullptr;
   exited.store(false, std::memory_order_relaxed);
   quarantined_self = false;
   heartbeat = 0;

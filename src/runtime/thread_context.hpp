@@ -124,6 +124,8 @@ class ThreadContext {
   ThreadHook abort_fn = nullptr;  // enforcer: roll back current region
   void* resp_log_self = nullptr;
   ThreadHook resp_log_fn = nullptr;  // recorder: log ResponseEvent
+  void* region_log_self = nullptr;
+  ThreadHook region_log_fn = nullptr;  // recorder: log deterministic bump
 
   // Set by ThreadRegistry::mark_exited; read by the coordination watchdog so
   // stall diagnostics can distinguish "parked forever because it exited"
@@ -179,6 +181,12 @@ class ThreadContext {
   }
   void run_resp_log_hook() {
     if (resp_log_fn != nullptr) resp_log_fn(resp_log_self, *this);
+  }
+  // Runs after deterministic release-counter bumps (PSRO, thread exit).
+  // Unlike responses these need no replay action, so the hook exists purely
+  // for the recorder's offline region marks (LogEventType::kRegionEnd).
+  void run_region_log_hook() {
+    if (region_log_fn != nullptr) region_log_fn(region_log_self, *this);
   }
 };
 

@@ -1,6 +1,7 @@
 #include "schedule/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -266,6 +267,7 @@ struct RunWorld {
   std::vector<RaceCheckedMeta>* rmeta = nullptr;
   std::deque<ProgramLock>* locks = nullptr;
   std::vector<std::uint64_t>* load_sum = nullptr;
+  std::atomic<std::uint64_t>* op_seq = nullptr;
 };
 
 // One worker's whole run: attach, register (setup grants arrive in slot
@@ -364,6 +366,13 @@ void run_thread(const RunWorld& w, Tracker& tracker, Slot slot) {
           w.rt->quarantine_thread(ctx, static_cast<ThreadId>(op.value));
           break;
       }
+      if (w.rc->on_op) {
+        // Completed op, observed while this thread still holds the virtual
+        // CPU: observer calls are mutually exclusive and globally ordered,
+        // so the relaxed fetch_add yields a gap-free serialization index.
+        w.rc->on_op(OpStep{
+            w.op_seq->fetch_add(1, std::memory_order_relaxed), slot, op});
+      }
       w.rt->poll(ctx);  // responding safe point between ops
 
       // Footprint: the step is confined to its object iff it provably never
@@ -444,6 +453,7 @@ RunResult run_core(detail::WorkerPool& pool, const Program& prog,
   std::deque<ProgramLock> locks(static_cast<std::size_t>(prog.locks));
   RaceDetector detector(static_cast<std::size_t>(nthreads));
   std::vector<std::uint64_t> load_sum(static_cast<std::size_t>(nthreads), 0);
+  std::atomic<std::uint64_t> op_seq{0};
 
   const std::uint64_t checker0 = analysis::transition_violations();
 
@@ -486,6 +496,7 @@ RunResult run_core(detail::WorkerPool& pool, const Program& prog,
   w.rmeta = &rmeta;
   w.locks = &locks;
   w.load_sum = &load_sum;
+  w.op_seq = &op_seq;
 
   pool.run_all([&](int slot) { run_thread(w, tracker, slot); });
 
@@ -499,6 +510,9 @@ RunResult run_core(detail::WorkerPool& pool, const Program& prog,
   r.quarantined = rt.quarantined_count();
   r.objects_seized = sweep.objects_seized();
   r.races = detector.total_report(static_cast<ThreadId>(nthreads));
+  for (std::size_t o = 0; o < rmeta.size() && o < 64; ++o) {
+    if (rmeta[o].raced()) r.racy_object_mask |= 1ULL << o;
+  }
   r.final_states.reserve(vars.size());
   r.final_values.reserve(vars.size());
   std::uint64_t h = 1469598103934665603ULL;

@@ -53,6 +53,17 @@ struct StateChange {
   StateWord to{};
 };
 
+// One completed program operation, observed in the global order the virtual
+// scheduler serialized it (seq is a run-global, gap-free index: the observer
+// runs while the executing thread still holds the virtual CPU, so calls are
+// mutually exclusive and scheduler-ordered). The offline hb_engine's
+// TraceBuilder consumes these to build access-annotated traces.
+struct OpStep {
+  std::uint64_t seq = 0;
+  Slot slot = -1;
+  Op op{};
+};
+
 struct RunConfig {
   Family family = Family::kHybrid;
   std::uint64_t max_steps = 4096;
@@ -60,6 +71,7 @@ struct RunConfig {
   const FaultConfig* faults = nullptr;  // optional injected faults
   bool race_detect = false;
   std::function<void(const StateChange&)> on_state_change;
+  std::function<void(const OpStep&)> on_op;
 };
 
 struct RunResult {
@@ -79,6 +91,11 @@ struct RunResult {
   // whether a seizure was eager or lazy can still hash equal.
   std::uint32_t quarantined = 0;
   std::uint64_t objects_seized = 0;
+  // Object identity for the race counts (race_detect runs only): bit o set
+  // iff object o had at least one race counted against it. The offline
+  // predictive detector's per-object reports are validated against the
+  // union of these masks over exhaustive exploration.
+  std::uint64_t racy_object_mask = 0;
   // Full decision record (eligible sets + observed footprints); the DFS
   // explorer consumes these to fill its frames after each execution.
   std::vector<Decision> decisions;

@@ -14,13 +14,18 @@
 namespace ht {
 namespace {
 
-TEST(ThreadLog, CountsEdgeAndResponseEvents) {
+TEST(ThreadLog, CountsEdgeResponseAndRegionEvents) {
   ThreadLog log;
   log.events.push_back({1, LogEventType::kEdge, 0, 5});
   log.events.push_back({2, LogEventType::kResponse, kNoThread, 0});
   log.events.push_back({2, LogEventType::kEdge, 1, 9});
+  log.events.push_back({4, LogEventType::kRegionEnd, kNoThread, 2});
   EXPECT_EQ(log.edge_count(), 2u);
   EXPECT_EQ(log.response_count(), 1u);
+  EXPECT_EQ(log.region_end_count(), 1u);
+  EXPECT_FALSE(log.events[0].is_bump());
+  EXPECT_TRUE(log.events[1].is_bump());
+  EXPECT_TRUE(log.events[3].is_bump());
 }
 
 TEST(Recording, SummaryAggregates) {
@@ -90,14 +95,23 @@ TEST(DependenceRecorder, ResponseHookLogsNondeterministicBumps) {
   EXPECT_GT(log.events[0].point, 10u);
 }
 
-TEST(DependenceRecorder, PsroBumpsAreNotLogged) {
+TEST(DependenceRecorder, PsroBumpsLogRegionMarksNotResponses) {
   Runtime rt;
   DependenceRecorder rec(rt);
   ThreadContext& ctx = rt.register_thread();
   rec.attach_thread(ctx);
   rt.psro(ctx);
   rt.psro(ctx);
-  EXPECT_TRUE(rec.log(ctx.id).events.empty());
+  // Deterministic bumps never appear as kResponse (the replayer re-issues
+  // them by construction) but each leaves a kRegionEnd mark stamped with the
+  // post-bump counter, so offline analyses see every region boundary.
+  const ThreadLog& log = rec.log(ctx.id);
+  ASSERT_EQ(log.events.size(), 2u);
+  EXPECT_EQ(log.response_count(), 0u);
+  EXPECT_EQ(log.region_end_count(), 2u);
+  EXPECT_EQ(log.events[0].type, LogEventType::kRegionEnd);
+  EXPECT_EQ(log.events[0].value, 1u);
+  EXPECT_EQ(log.events[1].value, 2u);
 }
 
 TEST(DependenceRecorder, TakeRecordingResetsLogs) {

@@ -1,0 +1,101 @@
+// Unit tests for recorder/recording_analysis: summary statistics, the
+// replay-parallelism proxies, and the Graphviz export — including the
+// degenerate (empty, single-thread) recordings the workload paths never
+// produce.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "recorder/recording_analysis.hpp"
+
+namespace ht {
+namespace {
+
+TEST(RecordingAnalysis, EmptyRecordingIsFullyParallel) {
+  const RecordingAnalysis a = analyze_recording(Recording{});
+  EXPECT_EQ(a.threads, 0u);
+  EXPECT_EQ(a.total_edges, 0u);
+  EXPECT_EQ(a.total_responses, 0u);
+  EXPECT_EQ(a.total_region_marks, 0u);
+  EXPECT_EQ(a.distinct_wait_points, 0u);
+  EXPECT_TRUE(a.fully_parallel());
+  EXPECT_NE(a.summary().find("fully parallel"), std::string::npos);
+}
+
+TEST(RecordingAnalysis, SingleThreadHasNoCrossThreadOrdering) {
+  Recording r;
+  r.threads.resize(1);
+  r.threads[0].events.push_back({2, LogEventType::kResponse, kNoThread, 1});
+  r.threads[0].events.push_back({7, LogEventType::kResponse, kNoThread, 2});
+  const RecordingAnalysis a = analyze_recording(r);
+  EXPECT_EQ(a.threads, 1u);
+  EXPECT_EQ(a.total_edges, 0u);
+  EXPECT_EQ(a.total_responses, 2u);
+  EXPECT_TRUE(a.fully_parallel());
+  ASSERT_EQ(a.edges_out.size(), 1u);
+  EXPECT_EQ(a.edges_out[0], 0u);
+}
+
+TEST(RecordingAnalysis, CountsEdgesPerThreadAndDistinctWaitPoints) {
+  Recording r;
+  r.threads.resize(3);
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 1});
+  // Two edges at the SAME instrumentation point (one wait point), one at
+  // another; all sink in thread 1, sourced from threads 0 and 2.
+  r.threads[1].events.push_back({4, LogEventType::kEdge, 0, 1});
+  r.threads[1].events.push_back({4, LogEventType::kEdge, 2, 1});
+  r.threads[1].events.push_back({9, LogEventType::kEdge, 0, 1});
+  r.threads[2].events.push_back({1, LogEventType::kResponse, kNoThread, 1});
+  const RecordingAnalysis a = analyze_recording(r);
+  EXPECT_EQ(a.total_edges, 3u);
+  EXPECT_EQ(a.distinct_wait_points, 2u);
+  EXPECT_FALSE(a.fully_parallel());
+  EXPECT_EQ(a.edges_out[1], 3u);  // sinks
+  EXPECT_EQ(a.edges_in[0], 2u);   // sources
+  EXPECT_EQ(a.edges_in[2], 1u);
+  EXPECT_EQ(a.edges_out[0], 0u);
+  EXPECT_NE(a.summary().find("3 edges"), std::string::npos);
+  EXPECT_NE(a.summary().find("2 distinct wait points"), std::string::npos);
+}
+
+TEST(RecordingAnalysis, RegionMarksAreNotResponses) {
+  // kRegionEnd marks deterministic bumps (PSRO / thread exit); the replay
+  // contract derives those itself, so analysis must keep the two counts
+  // apart instead of inflating the response count.
+  Recording r;
+  r.threads.resize(1);
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 1});
+  r.threads[0].events.push_back({3, LogEventType::kRegionEnd, kNoThread, 2});
+  r.threads[0].events.push_back({5, LogEventType::kRegionEnd, kNoThread, 3});
+  const RecordingAnalysis a = analyze_recording(r);
+  EXPECT_EQ(a.total_responses, 1u);
+  EXPECT_EQ(a.total_region_marks, 2u);
+}
+
+TEST(RecordingToDot, RendersTimelinesAndCrossEdges) {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[0].events.push_back({3, LogEventType::kResponse, kNoThread, 1});
+  r.threads[1].events.push_back({5, LogEventType::kEdge, 0, 1});
+  r.threads[1].events.push_back({8, LogEventType::kEdge, 0, 1});
+  const std::string dot = recording_to_dot(r);
+  EXPECT_NE(dot.find("digraph happens_before"), std::string::npos);
+  EXPECT_NE(dot.find("\"T0@r1\" -> \"T1@p5\""), std::string::npos);
+  // Program-order chain between the two sink points of thread 1.
+  EXPECT_NE(dot.find("\"T1@p5\" -> \"T1@p8\""), std::string::npos);
+  EXPECT_EQ(dot.find("truncated"), std::string::npos);
+}
+
+TEST(RecordingToDot, TruncatesAtMaxEdges) {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 1});
+  for (std::uint64_t p = 0; p < 5; ++p) {
+    r.threads[1].events.push_back({p, LogEventType::kEdge, 0, 1});
+  }
+  const std::string dot = recording_to_dot(r, /*max_edges=*/2);
+  EXPECT_NE(dot.find("truncated at 2 edges"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht

@@ -119,6 +119,41 @@ TEST(TraceLint, LegacyZeroStampsDegradeGracefully) {
   EXPECT_EQ(lint.graph_arcs, 0u);
 }
 
+// Mixed legacy/v2 logs (a v1 recording re-saved by a v2 writer, or a run
+// spanning a recorder upgrade) interleave unknown-stamp (0) bumps with
+// stamped ones. The zero stamps must not trip the strict-increase check,
+// but they still count as bumps for the stamp-vs-bump-count rule.
+TEST(TraceLint, MixedLegacyAndStampedBumpsPass) {
+  Recording r;
+  r.threads.resize(2);
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 0});
+  r.threads[0].events.push_back({3, LogEventType::kResponse, kNoThread, 2});
+  r.threads[0].events.push_back({5, LogEventType::kRegionEnd, kNoThread, 0});
+  r.threads[0].events.push_back({7, LogEventType::kRegionEnd, kNoThread, 4});
+  // The edge anchors to the stamp-2 response; the unknown-stamp bumps do
+  // not participate in the graph.
+  r.threads[1].events.push_back({2, LogEventType::kEdge, 0, 2});
+  const LintResult lint = lint_recording(r);
+  EXPECT_TRUE(lint.ok()) << lint.to_string();
+  EXPECT_EQ(lint.graph_arcs, 1u);
+}
+
+// The 3rd bump of a thread cannot leave the counter at 2: stamped values
+// must be at least the bump ordinal even when earlier stamps are unknown.
+TEST(TraceLint, FlagsStampBelowBumpOrdinal) {
+  Recording r;
+  r.threads.resize(1);
+  r.threads[0].events.push_back({1, LogEventType::kResponse, kNoThread, 0});
+  r.threads[0].events.push_back({2, LogEventType::kResponse, kNoThread, 1});
+  r.threads[0].events.push_back({4, LogEventType::kRegionEnd, kNoThread, 2});
+  const LintResult lint = lint_recording(r);
+  EXPECT_FALSE(lint.ok());
+  ASSERT_FALSE(lint.issues.empty());
+  EXPECT_NE(lint.issues[0].message.find("below the response count"),
+            std::string::npos)
+      << lint.to_string();
+}
+
 TEST(TraceLint, SalvagedFlagSurfacesInReport) {
   const LintResult lint = lint_recording(genuine_recording(), /*salvaged=*/true);
   EXPECT_TRUE(lint.ok());  // the checks themselves still pass
@@ -186,6 +221,7 @@ TEST(ExitCodes, DistinctAndStable) {
   // Structure/lint rejections use their own documented codes.
   EXPECT_EQ(kExitStructure, 7);
   EXPECT_EQ(kExitLint, 8);
+  EXPECT_EQ(kExitUnserializable, 9);
   EXPECT_EQ(kExitUsage, 1);
 }
 
