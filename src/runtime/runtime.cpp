@@ -49,6 +49,8 @@ void Runtime::unregister_thread(ThreadContext& ctx) {
   if (req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed)) {
     ctx.owner_side.response_watermark.store(req, std::memory_order_release);
   }
+  // Batch stragglers likewise: answered by the exit flush-and-bump above.
+  drain_mailbox(ctx, ctx.release_counter_relaxed());
 }
 
 void Runtime::psro(ThreadContext& ctx) {
@@ -74,20 +76,51 @@ void Runtime::psro(ThreadContext& ctx) {
     ctx.owner_side.response_watermark.store(req, std::memory_order_release);
     ++ctx.stats.responding_safepoints;
   }
+  // Batch requests are equally satisfied by the PSRO's flush-and-bump.
+  drain_mailbox(ctx, ctx.release_counter_relaxed());
 }
 
 void Runtime::respond(ThreadContext& ctx) {
   const std::uint64_t req =
       ctx.requester_side.request_tickets.load(std::memory_order_acquire);
-  if (req <= ctx.owner_side.response_watermark.load(std::memory_order_relaxed))
-    return;
+  const bool scalar =
+      req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed);
+  if (!scalar && !ctx.batch_requests_pending()) return;
   ctx.run_abort_hook();  // enforcer: roll back region writes while still owner
   ctx.run_flush_hook();  // hybrid: deferred unlocking's buffer flush
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
-  ctx.owner_side.response_watermark.store(req, std::memory_order_release);
+  if (scalar) {
+    ctx.owner_side.response_watermark.store(req, std::memory_order_release);
+  }
+  // One safe-point visit answers the whole mailbox backlog, each node
+  // stamped with the same post-bump counter (DESIGN.md §13).
+  drain_mailbox(ctx, ctx.release_counter_relaxed());
   ++ctx.stats.responding_safepoints;
   HT_TELEM_EVENT(ctx, kSafePointResponse, ctx.release_counter_relaxed(), 0, 0);
   ctx.run_resp_log_hook();  // recorder: nondeterministic bump -> log it
+}
+
+void Runtime::drain_mailbox(ThreadContext& ctx, std::uint64_t src_release) {
+  if (!ctx.batch_requests_pending()) return;
+  // Exclusive-consumer gate: the owner at a safe point and a quarantining
+  // thread releasing the owner's backlog may race here; the loser leaves the
+  // backlog to the winner (whose counter stamp is equally valid — both
+  // postdate every program access the owner performed before this point).
+  bool expected = false;
+  if (!ctx.mailbox.draining.compare_exchange_strong(
+          expected, true, std::memory_order_acquire,
+          std::memory_order_relaxed)) {
+    return;
+  }
+  for (CoordBatchNode* n = ctx.mailbox.queue.drain(); n != nullptr;) {
+    // The consumed store frees the node for reuse by its requester — read
+    // the link first, and never touch the node after the store.
+    CoordBatchNode* next = n->next;
+    n->src_release.store(src_release, std::memory_order_relaxed);
+    n->consumed.store(true, std::memory_order_release);
+    n = next;
+  }
+  ctx.mailbox.draining.store(false, std::memory_order_release);
 }
 
 bool Runtime::poll_fault_suppressed(ThreadContext& ctx) {
@@ -134,6 +167,8 @@ void Runtime::begin_blocking(ThreadContext& ctx) {
   if (req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed)) {
     ctx.owner_side.response_watermark.store(req, std::memory_order_release);
   }
+  // Batch stragglers that posted before observing BLOCKED, same deal.
+  drain_mailbox(ctx, ctx.release_counter_relaxed());
 }
 
 void Runtime::end_blocking(ThreadContext& ctx) {
@@ -164,7 +199,7 @@ void Runtime::end_blocking(ThreadContext& ctx) {
   HT_TELEM_EVENT(ctx, kBlockingExit, ctx.release_counter_relaxed(), 0, 0);
   // Wake-up is a responding safe point for requests that arrived while we
   // were parked but whose senders did not use implicit coordination.
-  if (ctx.requests_pending()) respond(ctx);
+  if (ctx.requests_pending() || ctx.batch_requests_pending()) respond(ctx);
 }
 
 void Runtime::quarantined_self_park(ThreadContext& ctx) {
@@ -173,6 +208,10 @@ void Runtime::quarantined_self_park(ThreadContext& ctx) {
   // protocol; the buffered locks are no longer ours to unlock. Drop them.
   ctx.lock_buffer.clear();
   ctx.rd_set.clear();
+  // Release any batch requesters still posted to us. Quarantine semantics
+  // match scalar implicit coordination with a quarantined owner: the edge
+  // value is our current counter, the state handoff happens by seizure.
+  drain_mailbox(ctx, ctx.release_counter_relaxed());
   throw ThreadQuarantined{ctx.id};
 }
 
@@ -206,6 +245,12 @@ bool Runtime::quarantine_thread(ThreadContext& self, ThreadId victim) {
          !remote.owner_side.response_watermark.compare_exchange_weak(
              wm, req, std::memory_order_release, std::memory_order_relaxed)) {
   }
+  // Release the victim's batch waiters too, stamped with its current
+  // counter — the same value the implicit path reads from a quarantined
+  // owner. The draining flag keeps this from racing a not-yet-parked victim
+  // consuming its own mailbox.
+  drain_mailbox(remote, remote.owner_side.release_counter.load(
+                            std::memory_order_acquire));
   HT_TELEM_EVENT(self, kQuarantine, victim, ThreadStatus::epoch(q), req);
   if (cfg_.resilience.on_quarantine) {
     cfg_.resilience.on_quarantine(self, remote);
@@ -349,6 +394,190 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_bounded(
   return coordinate_impl(self, owner, max_epochs);
 }
 
+Runtime::CoordResult Runtime::coordinate_batch(ThreadContext& self,
+                                               ThreadId owner,
+                                               std::uint32_t n_objects) {
+  BatchGroup g{owner, n_objects == 0 ? 1u : n_objects, {}};
+  coordinate_batch_multi(self, &g, 1);
+  return g.result;
+}
+
+void Runtime::coordinate_batch_multi(ThreadContext& self, BatchGroup* groups,
+                                     std::size_t n) {
+  HT_ASSERT(n <= kMaxBatchGroups, "batch group overflow");
+  HT_TELEM_CYCLES(telem_t0);
+
+  const auto finish = [&](BatchGroup& g) {
+    // Batch accounting covers every exit uniformly: even the scalar
+    // fallback answers all n_objects in the one flush-and-bump visit, so it
+    // still counts as one batched round (requester-side only — a
+    // quarantiner draining a victim's mailbox must never touch the victim's
+    // non-atomic stats).
+    ++self.stats.coord_batch_rounds;
+    self.stats.coord_batch_objects += g.n_objects;
+    HT_TELEM_EVENT(self, kCoordBatch, g.n_objects, g.owner,
+                   g.result.implicit ? 1 : 0);
+  };
+
+  // Scatter phase: resolve parked owners implicitly, post one mailbox node
+  // to every running owner. The implicit fast path is checked BEFORE
+  // posting: coordination with a parked owner needs no mailbox traffic, and
+  // not posting keeps a permanently-parked (exited, quarantined) owner's
+  // mailbox from accumulating abandoned nodes.
+  CoordBatchNode* nodes[kMaxBatchGroups];
+  bool resolved[kMaxBatchGroups];
+  std::size_t pending = 0;   // posted, awaiting drain
+  bool deferred = false;     // pool-exhausted groups, settled scalar below
+  for (std::size_t i = 0; i < n; ++i) {
+    BatchGroup& g = groups[i];
+    HT_ASSERT(g.owner != self.id, "self-coordination");
+    nodes[i] = nullptr;
+    resolved[i] = false;
+    ThreadContext& remote = registry_.context(g.owner);
+    std::uint64_t st =
+        remote.owner_side.status.load(std::memory_order_acquire);
+    if (ThreadStatus::is_blocked(st) &&
+        remote.owner_side.status.compare_exchange_strong(
+            st, ThreadStatus::bump_epoch(st), std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      g.result = CoordResult{
+          remote.owner_side.release_counter.load(std::memory_order_acquire),
+          /*implicit=*/true};
+      resolved[i] = true;
+      ++self.stats.coordination_rounds;
+      HT_TELEM_ELAPSED(self, kCoordRoundTrip, telem_t0, g.owner, 1);
+      finish(g);
+      continue;
+    }
+    CoordBatchNode* node = self.claim_batch_node();
+    if (node == nullptr) {
+      // Every pool node is still in flight (abandoned to mailboxes nobody
+      // has drained yet). One scalar round trip still covers all the
+      // group's objects: a response is a whole-buffer flush either way.
+      deferred = true;
+      continue;
+    }
+    node->requester = self.id;
+    node->objects = g.n_objects;
+    node->src_release.store(0, std::memory_order_relaxed);
+    // Marks the node in flight, so the next claim_batch_node() in this very
+    // loop picks a different one.
+    node->consumed.store(false, std::memory_order_relaxed);
+    remote.mailbox.queue.push(node);  // the push's CAS releases the fills
+    ++self.stats.coordination_rounds;
+    nodes[i] = node;
+    ++pending;
+  }
+
+  // Gather phase: wait for every posted node's drain (consumed, acquire) or
+  // for its owner to park (implicit exit; the posted node is abandoned and
+  // recycles at the next drain). Unwinding exits (RegionRestart from
+  // responding, quarantine) abandon all pending nodes the same way.
+  // Watchdog policing mirrors coordinate_impl, aimed at the first
+  // unresolved owner and re-aimed as owners resolve: the mailbox is an
+  // alternate request channel, not an alternate failure model.
+  const WatchdogConfig& wd = cfg_.watchdog;
+  const bool police = wd.enabled;
+  Backoff backoff(/*spins_before_yield=*/2, /*yields_before_sleep=*/64,
+                  wd.backoff_max_sleep_us,
+                  /*jitter_seed=*/0x9E3779B9u * (self.id + 1));
+  std::uint64_t epochs = 0;
+  std::uint64_t stalled_epochs = 0;
+  std::uint32_t dumps = 0;
+  std::size_t policed = kMaxBatchGroups;  // sentinel: none yet
+  ProgressFingerprint last{};
+  while (pending != 0) {
+    for (std::size_t i = 0; i < n && pending != 0; ++i) {
+      if (resolved[i] || nodes[i] == nullptr) continue;
+      BatchGroup& g = groups[i];
+      ThreadContext& remote = registry_.context(g.owner);
+      if (nodes[i]->consumed.load(std::memory_order_acquire)) {
+        // Only this thread claims from its own pool, so the node's stamp
+        // is stable until our next claim_batch_node().
+        g.result = CoordResult{
+            nodes[i]->src_release.load(std::memory_order_relaxed),
+            /*implicit=*/false};
+        resolved[i] = true;
+        --pending;
+        HT_TELEM_ELAPSED(self, kCoordRoundTrip, telem_t0, g.owner, 0);
+        finish(g);
+        continue;
+      }
+      std::uint64_t st =
+          remote.owner_side.status.load(std::memory_order_acquire);
+      if (ThreadStatus::is_blocked(st) &&
+          remote.owner_side.status.compare_exchange_strong(
+              st, ThreadStatus::bump_epoch(st), std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        g.result = CoordResult{
+            remote.owner_side.release_counter.load(std::memory_order_acquire),
+            /*implicit=*/true};
+        resolved[i] = true;
+        --pending;
+        HT_TELEM_ELAPSED(self, kCoordRoundTrip, telem_t0, g.owner, 1);
+        finish(g);
+      }
+    }
+    if (pending == 0) break;
+    respond_while_waiting(self);  // may throw RegionRestart; wait point
+    // Under a virtual scheduler the wait point above already yielded the
+    // virtual CPU; OS backoff on top would only burn wall time.
+    if (!schedule::virtualized()) backoff.pause();
+    ++epochs;
+    if (police) {
+      std::size_t target = kMaxBatchGroups;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!resolved[i] && nodes[i] != nullptr) {
+          target = i;
+          break;
+        }
+      }
+      if (target == kMaxBatchGroups) continue;
+      ThreadContext& remote = registry_.context(groups[target].owner);
+      if (target != policed) {
+        policed = target;
+        last = ProgressFingerprint::of(remote);
+        stalled_epochs = 0;
+        continue;
+      }
+      const ProgressFingerprint now = ProgressFingerprint::of(remote);
+      if (now != last) {
+        last = now;
+        stalled_epochs = 0;
+      } else if (++stalled_epochs >= wd.stall_epochs) {
+        HT_TELEM_EVENT(self, kLeaseExpired, groups[target].owner, 0,
+                       stalled_epochs);
+        CoordStallDiagnostic diag = build_stall_diagnostic(
+            self, remote, /*ticket=*/0, epochs, stalled_epochs);
+        if (dumps < wd.max_dumps) {
+          emit_stall_diagnostic(diag);
+          ++dumps;
+        }
+        if (wd.on_stall == WatchdogConfig::OnStall::kFailFast) {
+          throw CoordinationStalled{std::move(diag)};
+        }
+        if (wd.on_stall == WatchdogConfig::OnStall::kQuarantine) {
+          // Success drains the victim's mailbox (our node included) and
+          // flips it to blocked-terminal, so the next sweep resolves it.
+          quarantine_thread(self, groups[target].owner);
+          last = ProgressFingerprint::of(remote);
+        }
+        stalled_epochs = 0;
+      }
+    }
+  }
+
+  if (deferred) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (resolved[i] || nodes[i] != nullptr) continue;
+      BatchGroup& g = groups[i];
+      g.result = *coordinate_impl(self, g.owner, /*max_epochs=*/0);
+      resolved[i] = true;
+      finish(g);
+    }
+  }
+}
+
 bool Runtime::coordinate_all_others(ThreadContext& self) {
   bool any_explicit = false;
   const ThreadId n = registry_.high_water();
@@ -448,3 +677,4 @@ std::string CoordStallDiagnostic::to_string() const {
 }
 
 }  // namespace ht
+

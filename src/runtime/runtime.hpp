@@ -193,7 +193,10 @@ class Runtime {
     ctx.owner_side.last_poll.store(ctx.point_index,
                                    std::memory_order_relaxed);
     renew_lease(ctx);
-    if (!ctx.in_region && ctx.requests_pending()) respond(ctx);
+    if (!ctx.in_region &&
+        (ctx.requests_pending() || ctx.batch_requests_pending())) {
+      respond(ctx);
+    }
   }
 
   // Safe point inside nondeterministic spin loops (Fig 1 lines 9/18, Fig 10
@@ -211,7 +214,7 @@ class Runtime {
             ctx.owner_side.status.load(std::memory_order_acquire))) {
       quarantined_self_park(ctx);  // throws ThreadQuarantined
     }
-    if (ctx.requests_pending()) {
+    if (ctx.requests_pending() || ctx.batch_requests_pending()) {
       respond(ctx);
       if (ctx.restart_requested) {
         ctx.restart_requested = false;
@@ -242,14 +245,45 @@ class Runtime {
 
   // --- coordination (requester side) --------------------------------------------
   struct CoordResult {
-    std::uint64_t src_release;  // owner's release counter after its response
-    bool implicit;              // true if the owner was blocked
+    std::uint64_t src_release = 0;  // owner's counter after its response
+    bool implicit = false;          // true if the owner was blocked
   };
 
   // One round trip with `owner` (Fig 1 coordinate()). Spins responding to
   // the caller's own requests; may throw RegionRestart for enforcer regions,
   // and CoordinationStalled under the kFailFast watchdog policy.
   CoordResult coordinate(ThreadContext& self, ThreadId owner);
+
+  // Batched round trip (DESIGN.md §13): one request node covering
+  // `n_objects` objects owned by `owner`, answered in a single safe-point
+  // visit (the owner drains its whole mailbox backlog alongside the scalar
+  // watermark publish). The implicit fast path is identical to coordinate();
+  // when the requester's node pool is exhausted the call degrades to a
+  // scalar round trip. Same exception surface and watchdog policing as
+  // coordinate(). Implemented as the single-group case of
+  // coordinate_batch_multi().
+  CoordResult coordinate_batch(ThreadContext& self, ThreadId owner,
+                               std::uint32_t n_objects);
+
+  // Scatter-gather batched coordination (DESIGN.md §13): one request per
+  // distinct owner, ALL posted before any wait, so the round trips overlap —
+  // total wait is bounded by the slowest owner's response, not the sum of
+  // rounds. This is what keeps a multi-owner batch's Int hold window to ~one
+  // round trip (a sequential per-owner settle convoys: peers spinning on the
+  // held Ints escalate to sleep backoff and stop responding promptly, which
+  // stretches every other in-flight round). Each group's result is filled in
+  // place. Groups whose owner is parked resolve implicitly without posting;
+  // groups that cannot claim a pool node fall back to scalar rounds after
+  // the posted ones complete. Same exception surface as coordinate(); the
+  // watchdog polices the first unresolved owner, moving on as each resolves.
+  static constexpr std::size_t kMaxBatchGroups = 16;
+  struct BatchGroup {
+    ThreadId owner = kNoThread;
+    std::uint32_t n_objects = 0;
+    CoordResult result{};
+  };
+  void coordinate_batch_multi(ThreadContext& self, BatchGroup* groups,
+                              std::size_t n);
 
   // Bounded-wait variant: gives up after `max_epochs` backoff epochs and
   // returns nullopt instead of spinning on a dead or stalled owner. Never
@@ -315,8 +349,16 @@ class Runtime {
                                    std::memory_order_relaxed);
   }
 
-  // Responding safe point body; precondition: requests pending (or forced).
+  // Responding safe point body; precondition: scalar or batch requests
+  // pending (or forced).
   void respond(ThreadContext& ctx);
+
+  // Answers `ctx`'s whole batch backlog: stamps every posted node with
+  // `src_release` and recycles it (consumed, release — after drain() has
+  // unlinked it). Serialized by ctx.mailbox.draining because the owner and a
+  // quarantining thread may race to consume; losing the flag race is fine —
+  // whoever holds it answers the backlog with an equally valid counter.
+  static void drain_mailbox(ThreadContext& ctx, std::uint64_t src_release);
 
   // Out-of-line fault-injection bodies (keep faultinject out of the hot
   // inline path; called only when injector_ != nullptr).

@@ -38,6 +38,16 @@ void ThreadContext::reset(ThreadId new_id, Runtime* rt) {
   owner_side.last_poll.store(0, std::memory_order_relaxed);
   owner_side.heartbeat.store(0, std::memory_order_relaxed);
   requester_side.request_tickets.store(0, std::memory_order_relaxed);
+  // Recycle any batch nodes abandoned to this slot's mailbox (possible only
+  // when a runtime instance is reused across runs). The nodes belong to
+  // *other* threads' pools — this slot's own pool flags are owned by the
+  // mailbox drains of whoever those nodes were posted to, never touched here.
+  for (CoordBatchNode* n = mailbox.queue.drain(); n != nullptr;) {
+    CoordBatchNode* next = n->next;
+    n->consumed.store(true, std::memory_order_release);
+    n = next;
+  }
+  mailbox.draining.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace ht

@@ -13,11 +13,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/cache_line.hpp"
 #include "common/flat_set.hpp"
+#include "common/mpsc_queue.hpp"
 #include "metadata/state_word.hpp"
 #include "tracking/transition_stats.hpp"
 
@@ -60,6 +62,28 @@ struct ThreadStatus {
   static std::uint64_t make_quarantined(std::uint64_t ep) {
     return (ep << 2) | kBlockedBit | kQuarantineBit;
   }
+};
+
+// Batched-coordination request node (DESIGN.md §13). A requester that needs
+// several objects from one owner posts a single node to the owner's mailbox
+// instead of taking one ticket per object; the responder answers its whole
+// backlog in one safe-point visit.
+//
+// Nodes live in a small per-requester pool with registry lifetime, NOT on
+// the requester's stack: a requester may abandon a posted node (implicit
+// coordination won the race, or it unwound on RegionRestart /
+// ThreadQuarantined), and a pooled node dangles harmlessly in the owner's
+// mailbox until the next drain recycles it. `consumed` is the recycle
+// handshake: the draining thread stores it (release) only after drain() has
+// unlinked the node, so a node observed free is never still linked anywhere.
+struct CoordBatchNode {
+  CoordBatchNode* next = nullptr;  // mailbox intrusive link
+  ThreadId requester = kNoThread;
+  std::uint32_t objects = 0;  // batch size (stats / telemetry)
+  // Owner's post-bump release counter, written before `consumed`; every
+  // object in the batch stamps its recorded edge with this one value.
+  std::atomic<std::uint64_t> src_release{0};
+  std::atomic<bool> consumed{true};  // true = free for reuse
 };
 
 // Hook signatures. Hooks run at responding safe points in a fixed order:
@@ -163,10 +187,45 @@ class ThreadContext {
     std::atomic<std::uint64_t> request_tickets{0};
   } requester_side;
 
+  // Batched-coordination mailbox (owner side: drained at responding safe
+  // points and blocking/exit boundaries) in its own line so batch pushes
+  // don't false-share with the scalar ticket/watermark words.
+  struct alignas(kCacheLine) BatchMailbox {
+    MpscQueue<CoordBatchNode> queue;
+    // Serializes consumers: normally the owning thread, but a quarantining
+    // thread also releases a victim's backlog, and the victim may not have
+    // parked yet. Spin flag, not a mutex — drains are short and rare.
+    std::atomic<bool> draining{false};
+  } mailbox;
+
+  // Request-node pool (requester side; see CoordBatchNode). Sized for the
+  // realistic in-flight count: one outstanding batch plus nodes abandoned to
+  // still-undrained mailboxes. Exhaustion is not an error — requesters fall
+  // back to scalar coordination.
+  static constexpr std::size_t kBatchNodePoolSize = 4;
+  struct alignas(kCacheLine) BatchNodePool {
+    CoordBatchNode nodes[kBatchNodePoolSize];
+  } batch_pool;
+
   // --- helpers -----------------------------------------------------------------
   bool requests_pending() const {
     return requester_side.request_tickets.load(std::memory_order_acquire) >
            owner_side.response_watermark.load(std::memory_order_relaxed);
+  }
+
+  bool batch_requests_pending() const {
+    return !mailbox.queue.empty_relaxed();
+  }
+
+  // Claims a free request node from this thread's own pool (nullptr when
+  // every node is in flight). Only the owning thread claims, so no CAS is
+  // needed: the acquire load pairs with the draining thread's release store
+  // of `consumed` and makes the node's unlinking visible.
+  CoordBatchNode* claim_batch_node() {
+    for (auto& n : batch_pool.nodes) {
+      if (n.consumed.load(std::memory_order_acquire)) return &n;
+    }
+    return nullptr;
   }
 
   std::uint64_t release_counter_relaxed() const {

@@ -15,6 +15,7 @@
 #include "runtime/runtime.hpp"
 #include "runtime/sync.hpp"
 #include "tracking/hybrid_tracker.hpp"
+#include "tracking/ideal_tracker.hpp"
 #include "tracking/optimistic_tracker.hpp"
 #include "tracking/pessimistic_tracker.hpp"
 #include "tracking/tracked_var.hpp"
@@ -28,6 +29,7 @@ const char* family_name(Family f) {
     case Family::kPessimistic: return "pessimistic";
     case Family::kOptimistic: return "optimistic";
     case Family::kHybrid: return "hybrid";
+    case Family::kIdeal: return "ideal";
   }
   return "?";
 }
@@ -36,6 +38,7 @@ std::optional<Family> family_from_name(const std::string& name) {
   if (name == "pessimistic" || name == "pess") return Family::kPessimistic;
   if (name == "optimistic" || name == "opt") return Family::kOptimistic;
   if (name == "hybrid") return Family::kHybrid;
+  if (name == "ideal") return Family::kIdeal;
   return std::nullopt;
 }
 
@@ -77,6 +80,7 @@ analysis::TrackerFamily to_analysis(Family f) {
     case Family::kPessimistic: return analysis::TrackerFamily::kPessAlone;
     case Family::kOptimistic: return analysis::TrackerFamily::kOptimistic;
     case Family::kHybrid: return analysis::TrackerFamily::kHybrid;
+    case Family::kIdeal: return analysis::TrackerFamily::kIdeal;
   }
   return analysis::TrackerFamily::kHybrid;
 }
@@ -436,9 +440,10 @@ RunResult run_core(detail::WorkerPool& pool, const Program& prog,
       [&vars](const std::function<void(ObjectMeta&)>& fn) {
         for (TrackedVar<std::uint64_t>& v : vars) fn(v.meta());
       });
-  // The pure optimistic tracker asserts on pessimistic kinds; abandoned
-  // states must land back in its own state family there.
-  sweep.set_land_pessimistic(family != Family::kOptimistic);
+  // The pure optimistic and ideal trackers assert on pessimistic kinds;
+  // abandoned states must land back in their own state family there.
+  sweep.set_land_pessimistic(family == Family::kPessimistic ||
+                             family == Family::kHybrid);
   RuntimeConfig rtc;
   rtc.max_threads = static_cast<std::size_t>(nthreads);
   // The virtual scheduler owns stall detection; the watchdog's wall-clock
@@ -581,6 +586,10 @@ RunResult Explorer::run_once(const Program& program, Strategy& strategy) {
       return run_core(*pool_, program, family_, run_config_, strategy,
                       observe,
                       [](Runtime& rt) { return PessimisticTracker<>(rt); });
+    case Family::kIdeal:
+      return run_core(*pool_, program, family_, run_config_, strategy,
+                      observe,
+                      [](Runtime& rt) { return IdealTracker<>(rt); });
   }
   HT_ASSERT(false, "unknown family");
   throw ScheduleAborted{};  // unreachable

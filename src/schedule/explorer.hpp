@@ -34,9 +34,11 @@
 
 namespace ht::schedule {
 
-// The three real trackers (the ideal/unsound variant is a study artifact,
-// not an exploration target).
-enum class Family : std::uint8_t { kPessimistic, kOptimistic, kHybrid };
+// The three real trackers, plus the ideal/unsound study variant (§7.5).
+// Ideal elides coordination, so it is not a soundness target — it exists
+// here so differential tests can compare the sound trackers' final memory
+// and race verdicts against the upper-bound configuration.
+enum class Family : std::uint8_t { kPessimistic, kOptimistic, kHybrid, kIdeal };
 
 const char* family_name(Family f);
 std::optional<Family> family_from_name(const std::string& name);

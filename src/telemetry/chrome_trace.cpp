@@ -15,6 +15,7 @@ constexpr int kPid = 1;  // single-process traces
 const char* event_category(EventKind k) {
   switch (k) {
     case EventKind::kCoordRoundTrip:
+    case EventKind::kCoordBatch:
     case EventKind::kSafePointResponse:
     case EventKind::kPsro:
     case EventKind::kBlockingEnter:
@@ -97,6 +98,11 @@ void append_args(std::string& out, const Event& e) {
              std::string(e.arg0 != 0 ? "true" : "false");
       out += ",\"storm_windows\":" + json::number(e.arg1);
       out += ",\"calm_windows\":" + json::number(e.arg2);
+      break;
+    case EventKind::kCoordBatch:
+      out += "\"objects\":" + json::number(static_cast<double>(e.arg0));
+      out += ",\"owner_tid\":" + json::number(e.arg1);
+      out += ",\"implicit\":" + std::string(e.arg2 != 0 ? "true" : "false");
       break;
     default:
       out += "\"arg0\":" + json::number(static_cast<double>(e.arg0));

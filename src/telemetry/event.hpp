@@ -46,6 +46,11 @@ enum class EventKind : std::uint16_t {
                    // arg2 = victim tid
   kGovernorFlip,   // arg0 = 1 entering degraded / 0 recovering,
                    // arg1 = storm windows observed, arg2 = calm windows
+
+  // Batched coordination (DESIGN.md §13). Emitted requester-side once per
+  // coordinate_batch, alongside that round's kCoordRoundTrip.
+  kCoordBatch,  // arg0 = objects covered by the batch, arg1 = owner tid,
+                // arg2 = 1 if resolved implicitly (owner blocked)
 };
 
 // arg2 flag bits for kOptConflict / kPessAcquire.
@@ -88,6 +93,7 @@ inline const char* event_kind_name(EventKind k) {
     case EventKind::kQuarantine: return "quarantine";
     case EventKind::kSeizure: return "seizure";
     case EventKind::kGovernorFlip: return "governor_flip";
+    case EventKind::kCoordBatch: return "coord_batch";
   }
   return "unknown";
 }

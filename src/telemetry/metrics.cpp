@@ -181,8 +181,15 @@ MetricsRegistry aggregate_metrics(const TraceSnapshot& snap) {
                                "state words seized from quarantined threads");
   auto& governor_flips = reg.counter("ht_governor_flips_total",
                                      "degradation governor mode changes");
+  auto& coord_batches = reg.counter("ht_coord_batches_total",
+                                    "batched coordination rounds");
+  auto& coord_batch_objects =
+      reg.counter("ht_coord_batch_objects_total",
+                  "objects covered by batched coordination rounds");
   auto& coord_hist = reg.histogram("ht_coord_roundtrip_cycles",
                                    "coordination round-trip latency (cycles)");
+  auto& batch_hist = reg.histogram("ht_coord_batch_objects",
+                                   "batch size (objects) per batched round");
   auto& wait_hist = reg.histogram("ht_pess_wait_cycles",
                                   "pessimistic lock acquisition wait (cycles)");
   auto& restart_hist = reg.histogram("ht_region_restart_cycles",
@@ -246,6 +253,11 @@ MetricsRegistry aggregate_metrics(const TraceSnapshot& snap) {
           break;
         case EventKind::kGovernorFlip:
           ++governor_flips;
+          break;
+        case EventKind::kCoordBatch:
+          ++coord_batches;
+          coord_batch_objects += e.arg0;
+          batch_hist.add(e.arg0);
           break;
         default:
           break;

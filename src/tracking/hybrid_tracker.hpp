@@ -22,6 +22,8 @@
 
 #include <atomic>
 
+#include "common/spin.hpp"
+
 #include "metadata/object_meta.hpp"
 #include "resilience/seizure.hpp"
 #include "tracking/adaptive_policy.hpp"
@@ -82,6 +84,68 @@ class HybridTracker {
     return {};
   }
   void post_store(ThreadContext&, ObjectMeta&, Token) {}
+
+  // --- batched store (DESIGN.md §13) ---------------------------------------
+  // Secures write ownership of every object in `objs` before the caller
+  // performs the stores. Conflicting optimistic objects are all moved to Int
+  // first, partitioned by their named owner, and each owner's group is
+  // settled by ONE coordinate_batch() round trip — that owner's one
+  // flush-and-bump covers its whole group, and each object records its edge
+  // at the shared post-bump counter. Everything else (same-state, upgrades,
+  // pessimistic/contended/RdSh states, CAS losses) takes the scalar
+  // pre_store retry loop after the groups have landed, so a leftover never
+  // spins on this thread's own Int.
+  static constexpr std::size_t kMaxStoreBatch = 16;
+  void pre_store_batch(ThreadContext& ctx, ObjectMeta* const* objs,
+                       std::size_t n) {
+    Runtime& rt = *runtime_;
+    BatchConflict pend[kMaxStoreBatch];
+    bool scalar[kMaxStoreBatch];
+    std::size_t np = 0;
+    const std::size_t lim = n < kMaxStoreBatch ? n : kMaxStoreBatch;
+    for (std::size_t i = 0; i < lim; ++i) {
+      scalar[i] = false;
+      ObjectMeta& m = *objs[i];
+      const StateWord s = m.load_state();
+      if (s.raw() == ctx.fast_wr_ex_opt) {
+        if constexpr (kStats) ++ctx.stats.opt_same;
+        HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                             .actor = ctx.id,
+                             .object = &m,
+                             .from = s,
+                             .to = s,
+                             .access = analysis::AccessKind::kWrite,
+                             .rel = analysis::ActorRel::kOwner,
+                             .mode = mode_});
+        continue;
+      }
+      // Batchable: an optimistic conflict with a named owner. (RdSh
+      // conflicts coordinate with *all* others and stay scalar; a duplicate
+      // of a group member reads our own Int here and stays scalar,
+      // resolving after the groups land.)
+      const bool opt_conflict = (s.kind() == StateKind::kWrExOpt ||
+                                 s.kind() == StateKind::kRdExOpt) &&
+                                s.tid() != ctx.id;
+      if (!opt_conflict) {
+        scalar[i] = true;
+        continue;
+      }
+      rt.check_self_quarantine(ctx);
+      StateWord expected = s;
+      if (!m.cas_state(expected, StateWord::intermediate(ctx.id))) {
+        scalar[i] = true;  // raced: let the retry loop reclassify
+        continue;
+      }
+      pend[np++] = BatchConflict{&m, s};
+    }
+
+    if (np != 0) settle_store_batch(ctx, pend, np);
+
+    for (std::size_t i = 0; i < lim; ++i) {
+      if (scalar[i]) pre_store(ctx, *objs[i]);
+    }
+    for (std::size_t i = lim; i < n; ++i) pre_store(ctx, *objs[i]);
+  }
 
   // --- load ---------------------------------------------------------------
   Token pre_load(ThreadContext& ctx, ObjectMeta& m) {
@@ -278,6 +342,11 @@ class HybridTracker {
   void store_slow(ThreadContext& ctx, ObjectMeta& m) {
     Runtime& rt = *runtime_;
     bool contended = false;
+    // Int waits must cede the CPU (same idiom as the pessimistic contended
+    // lock): the holder keeps the Int across a whole coordination round
+    // trip, and on oversubscribed cores a pure spin burns the scheduling
+    // quantum that holder — or the owner draining a batch mailbox — needs.
+    Backoff backoff;
     for (;;) {
       // Quarantined victims must not lock or Int fresh states after the
       // sweep ran (DESIGN.md §11.2); park before acquiring, never after.
@@ -334,6 +403,7 @@ class HybridTracker {
           if (seize_if_quarantined(ctx, m, s)) break;
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
+          if (!schedule::virtualized()) backoff.pause();
           break;
 
         // ---- pessimistic unlocked: uncontended lock acquisition -------------
@@ -504,6 +574,7 @@ class HybridTracker {
   void load_slow(ThreadContext& ctx, ObjectMeta& m) {
     Runtime& rt = *runtime_;
     bool contended = false;
+    Backoff backoff;  // Int waits cede the CPU (see store_slow)
     for (;;) {
       rt.check_self_quarantine(ctx);
       StateWord s = m.load_state();
@@ -595,6 +666,7 @@ class HybridTracker {
           if (seize_if_quarantined(ctx, m, s)) break;
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
+          if (!schedule::virtualized()) backoff.pause();
           break;
 
         // ---- pessimistic unlocked -------------------------------------------
@@ -947,6 +1019,98 @@ class HybridTracker {
                        (is_store ? telemetry::kFlagStore : 0u) |
                        (went_pess ? telemetry::kFlagWentPess : 0u));
     return true;
+  }
+
+  // One conflicting optimistic object already moved to Int(self), waiting on
+  // the group's coordinate_batch round (DESIGN.md §13).
+  struct BatchConflict {
+    ObjectMeta* m;
+    StateWord from;
+  };
+
+  // Settles the pending Int(self) objects: partitions them by their named
+  // owner, issues ONE scatter-gather multi-round (all owners' requests
+  // posted before any wait, so the round trips overlap and the Int hold
+  // window stays ~one round trip), then lands each object exactly as
+  // opt_conflicting would have.
+  void settle_store_batch(ThreadContext& ctx, const BatchConflict* pend,
+                          std::size_t np) {
+    Runtime& rt = *runtime_;
+    Runtime::BatchGroup groups[kMaxStoreBatch];
+    std::uint8_t gidx[kMaxStoreBatch];
+    std::size_t ng = 0;
+    for (std::size_t i = 0; i < np; ++i) {
+      const ThreadId owner = pend[i].from.tid();
+      std::size_t g = 0;
+      while (g < ng && groups[g].owner != owner) ++g;
+      if (g == ng) {
+        groups[ng].owner = owner;
+        groups[ng].n_objects = 0;
+        ++ng;
+      }
+      ++groups[g].n_objects;
+      gidx[i] = static_cast<std::uint8_t>(g);
+    }
+    try {
+      rt.coordinate_batch_multi(ctx, groups, ng);
+    } catch (...) {
+      // Unwinding (RegionRestart, ThreadQuarantined, CoordinationStalled):
+      // restore every pending Int, same as IntGuard does for the scalar
+      // path — nothing has landed yet. A restore CAS that fails lost to a
+      // seizure, which owns the object now. Responses already gathered are
+      // simply abandoned (a response transfers no state, only a counter
+      // stamp).
+      for (std::size_t i = 0; i < np; ++i) {
+        StateWord intw = StateWord::intermediate(ctx.id);
+        (void)pend[i].m->cas_state(intw, pend[i].from);
+      }
+      throw;
+    }
+    for (std::size_t i = 0; i < np; ++i) {
+      ObjectMeta& m = *pend[i].m;
+      const ThreadId owner = groups[gidx[i]].owner;
+      const bool any_explicit = !groups[gidx[i]].result.implicit;
+      // The owner's single flush-and-bump precedes its response, so its
+      // group's shared post-bump counter covers its prior accesses to every
+      // object in the group (all were Int before the round trip started).
+      if constexpr (Sink::kActive) {
+        sink_->edge(ctx, owner, groups[gidx[i]].result.src_release);
+      }
+      const bool went_pess = policy_.to_pess_on_conflict(m, any_explicit);
+      const StateWord landed = went_pess ? StateWord::wr_ex_wlock(ctx.id)
+                                         : StateWord::wr_ex_opt(ctx.id);
+      StateWord intw = StateWord::intermediate(ctx.id);
+      // As in opt_conflicting: a failed landing CAS means a survivor seized
+      // the Int after quarantining us; park immediately. Remaining group
+      // members stay Int and are reclaimed by the seizure sweep.
+      if (!m.cas_state(intw, landed)) rt.quarantined_self_park(ctx);
+      if (went_pess) {
+        policy_.note_became_pess(m);
+        ctx.lock_buffer.push_back(&m);
+        if constexpr (kStats) ++ctx.stats.opt_to_pess;
+      }
+      HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
+                           .actor = ctx.id,
+                           .object = &m,
+                           .from = pend[i].from,
+                           .to = landed,
+                           .access = analysis::AccessKind::kWrite,
+                           .rel = analysis::ActorRel::kOther,
+                           .policy = went_pess ? analysis::PolicyChoice::kPess
+                                               : analysis::PolicyChoice::kOpt,
+                           .mode = mode_,
+                           .taken = analysis::Mechanism::kCoordination,
+                           .in_lock_buffer = analysis::lb_member(ctx, &m),
+                           .in_rd_set = analysis::rs_member(ctx, &m)});
+      if constexpr (kStats) {
+        (any_explicit ? ctx.stats.opt_confl_explicit
+                      : ctx.stats.opt_confl_implicit)++;
+      }
+      HT_TELEM_EVENT(ctx, kOptConflict, 0, telemetry::object_id(&m),
+                     (any_explicit ? telemetry::kFlagExplicit : 0u) |
+                         telemetry::kFlagStore |
+                         (went_pess ? telemetry::kFlagWentPess : 0u));
+    }
   }
 
   // Contended pessimistic transition (§3.2): coordinate so the holder(s)

@@ -46,6 +46,13 @@ class IdealTracker {
   }
   void post_store(ThreadContext&, ObjectMeta&, Token) {}
 
+  // Batched-store API parity (DESIGN.md §13). Ideal elides coordination, so
+  // there is no round trip to amortize — each store is just its bare CAS.
+  void pre_store_batch(ThreadContext& ctx, ObjectMeta* const* objs,
+                       std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) (void)pre_store(ctx, *objs[i]);
+  }
+
   Token pre_load(ThreadContext& ctx, ObjectMeta& m) {
     const StateWord s = m.load_state();
     if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt ||

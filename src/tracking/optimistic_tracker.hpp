@@ -12,6 +12,8 @@
 
 #include <atomic>
 
+#include "common/spin.hpp"
+
 #include "metadata/object_meta.hpp"
 #include "resilience/seizure.hpp"
 #include "tracking/tracker_common.hpp"
@@ -57,6 +59,59 @@ class OptimisticTracker {
   }
   void post_store(ThreadContext&, ObjectMeta&, Token) {}
 
+  // --- batched store (DESIGN.md §13) -------------------------------------------
+  // Same shape as HybridTracker::pre_store_batch: conflicting optimistic
+  // objects move to Int together, one coordinate_batch() round per distinct
+  // owner settles each owner's group (every object's edge stamps that
+  // owner's shared post-bump counter), and all other cases fall back to the
+  // scalar retry loop after the groups land.
+  static constexpr std::size_t kMaxStoreBatch = 16;
+  void pre_store_batch(ThreadContext& ctx, ObjectMeta* const* objs,
+                       std::size_t n) {
+    Runtime& rt = *runtime_;
+    BatchConflict pend[kMaxStoreBatch];
+    bool scalar[kMaxStoreBatch];
+    std::size_t np = 0;
+    const std::size_t lim = n < kMaxStoreBatch ? n : kMaxStoreBatch;
+    for (std::size_t i = 0; i < lim; ++i) {
+      scalar[i] = false;
+      ObjectMeta& m = *objs[i];
+      const StateWord s = m.load_state();
+      if (s.raw() == ctx.fast_wr_ex_opt) {
+        if constexpr (kStats) ++ctx.stats.opt_same;
+        HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                             .actor = ctx.id,
+                             .object = &m,
+                             .from = s,
+                             .to = s,
+                             .access = analysis::AccessKind::kWrite,
+                             .rel = analysis::ActorRel::kOwner});
+        continue;
+      }
+      const bool opt_conflict = (s.kind() == StateKind::kWrExOpt ||
+                                 s.kind() == StateKind::kRdExOpt) &&
+                                s.tid() != ctx.id;
+      if (!opt_conflict) {
+        scalar[i] = true;
+        continue;
+      }
+      rt.check_self_quarantine(ctx);
+      StateWord expected = s;
+      if (!m.cas_state(expected, StateWord::intermediate(ctx.id))) {
+        scalar[i] = true;
+        continue;
+      }
+      pend[np++] = BatchConflict{&m, s};
+    }
+
+    if (np != 0) settle_store_batch(ctx, pend, np);
+
+    for (std::size_t i = 0; i < lim; ++i) {
+      if (scalar[i]) pre_store(ctx, *objs[i]);
+    }
+    for (std::size_t i = lim; i < n; ++i) pre_store(ctx, *objs[i]);
+  }
+
   // --- load -------------------------------------------------------------------
   Token pre_load(ThreadContext& ctx, ObjectMeta& m) {
     const StateWord s = m.load_state();
@@ -82,6 +137,11 @@ class OptimisticTracker {
  private:
   void store_slow(ThreadContext& ctx, ObjectMeta& m) {
     Runtime& rt = *runtime_;
+    // Int waits must cede the CPU (same idiom as the pessimistic contended
+    // lock): the holder keeps the Int across a whole coordination round
+    // trip, and on oversubscribed cores a pure spin burns the scheduling
+    // quantum that holder — or the owner draining a batch mailbox — needs.
+    Backoff backoff;
     for (;;) {
       // Park quarantined victims before they start a fresh coordination
       // (DESIGN.md §11.2); an in-flight Int is unwound by its IntGuard.
@@ -133,6 +193,7 @@ class OptimisticTracker {
         }
         rt.fault_point_slow_path(ctx);
         rt.respond_while_waiting(ctx);
+        if (!schedule::virtualized()) backoff.pause();
         continue;
       }
       if (conflicting_transition(ctx, m, s, StateWord::wr_ex_opt(ctx.id)))
@@ -142,6 +203,7 @@ class OptimisticTracker {
 
   void load_slow(ThreadContext& ctx, ObjectMeta& m) {
     Runtime& rt = *runtime_;
+    Backoff backoff;  // Int waits cede the CPU (see store_slow)
     for (;;) {
       rt.check_self_quarantine(ctx);
       StateWord s = m.load_state();
@@ -218,6 +280,7 @@ class OptimisticTracker {
           }
           rt.fault_point_slow_path(ctx);
           rt.respond_while_waiting(ctx);
+          if (!schedule::virtualized()) backoff.pause();
           continue;
         case StateKind::kWrExOpt: {
           if (conflicting_transition(ctx, m, s, StateWord::rd_ex_opt(ctx.id)))
@@ -283,6 +346,76 @@ class OptimisticTracker {
                             : 0u));
     (void)any_explicit;
     return true;
+  }
+
+  struct BatchConflict {
+    ObjectMeta* m;
+    StateWord from;
+  };
+
+  // Settles the pending Int(self) objects with ONE scatter-gather
+  // multi-round (one request per distinct owner, all posted before any
+  // wait), landing each WrExOpt(self) exactly as conflicting_transition
+  // would.
+  void settle_store_batch(ThreadContext& ctx, const BatchConflict* pend,
+                          std::size_t np) {
+    Runtime& rt = *runtime_;
+    Runtime::BatchGroup groups[kMaxStoreBatch];
+    std::uint8_t gidx[kMaxStoreBatch];
+    std::size_t ng = 0;
+    for (std::size_t i = 0; i < np; ++i) {
+      const ThreadId owner = pend[i].from.tid();
+      std::size_t g = 0;
+      while (g < ng && groups[g].owner != owner) ++g;
+      if (g == ng) {
+        groups[ng].owner = owner;
+        groups[ng].n_objects = 0;
+        ++ng;
+      }
+      ++groups[g].n_objects;
+      gidx[i] = static_cast<std::uint8_t>(g);
+    }
+    try {
+      rt.coordinate_batch_multi(ctx, groups, ng);
+    } catch (...) {
+      // Restore every pending Int — nothing has landed yet; responses
+      // already gathered are simply abandoned.
+      for (std::size_t i = 0; i < np; ++i) {
+        StateWord intw = StateWord::intermediate(ctx.id);
+        (void)pend[i].m->cas_state(intw, pend[i].from);
+      }
+      throw;
+    }
+    for (std::size_t i = 0; i < np; ++i) {
+      ObjectMeta& m = *pend[i].m;
+      const ThreadId owner = groups[gidx[i]].owner;
+      const bool any_explicit = !groups[gidx[i]].result.implicit;
+      if constexpr (Sink::kActive) {
+        sink_->edge(ctx, owner, groups[gidx[i]].result.src_release);
+      }
+      const StateWord landed = StateWord::wr_ex_opt(ctx.id);
+      StateWord intw = StateWord::intermediate(ctx.id);
+      if (!m.cas_state(intw, landed)) rt.quarantined_self_park(ctx);
+      HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
+                           .actor = ctx.id,
+                           .object = &m,
+                           .from = pend[i].from,
+                           .to = landed,
+                           .access = analysis::AccessKind::kWrite,
+                           .rel = analysis::ActorRel::kOther,
+                           .taken = analysis::Mechanism::kCoordination});
+      if (census_ && any_explicit) {
+        m.profile().update(
+            [](ProfileWord w) { return w.with_opt_conflict_inc(); });
+      }
+      if constexpr (kStats) {
+        (any_explicit ? ctx.stats.opt_confl_explicit
+                      : ctx.stats.opt_confl_implicit)++;
+      }
+      HT_TELEM_EVENT(ctx, kOptConflict, 0, telemetry::object_id(&m),
+                     (any_explicit ? telemetry::kFlagExplicit : 0u) |
+                         telemetry::kFlagStore);
+    }
   }
 
   Runtime* runtime_;

@@ -64,6 +64,18 @@ class TrackedVar {
   T raw_load() const { return value_.load(std::memory_order_relaxed); }
   void raw_store(T v) { value_.store(v, std::memory_order_relaxed); }
 
+  // Store to a slot whose write ownership was already secured at this
+  // instrumentation point (batched store, DESIGN.md §13): undo logging and
+  // the value write only — no point bump, no tracker call.
+  void store_prepared(ThreadContext& ctx, T v) {
+    if (ctx.undo_log != nullptr) {
+      ctx.undo_log->push(&value_,
+                         bits_of(value_.load(std::memory_order_relaxed)),
+                         &restore_bits);
+    }
+    value_.store(v, std::memory_order_relaxed);
+  }
+
   ObjectMeta& meta() { return meta_; }
   const ObjectMeta& meta() const { return meta_; }
 
@@ -82,6 +94,34 @@ class TrackedVar {
   ObjectMeta meta_;
   std::atomic<T> value_;
 };
+
+// Batched store (DESIGN.md §13): ONE instrumentation point covering all `n`
+// stores. The tracker secures write ownership of every object before any
+// value is written, so a tracker with a batched slow path folds the group's
+// conflicting transitions into a single coordination round; trackers without
+// one (pessimistic, null) degrade to per-access scalar stores, each its own
+// point. Replay-sound because all edges recorded at the single point precede
+// all `n` raw stores.
+template <typename Tracker, typename T>
+void store_batch(Tracker& tracker, ThreadContext& ctx,
+                 TrackedVar<T>* const* vars, const T* values, std::size_t n) {
+  constexpr std::size_t kCap = 32;
+  if constexpr (requires(ObjectMeta* const* mm) {
+                  tracker.pre_store_batch(ctx, mm, n);
+                }) {
+    if (n != 0 && n <= kCap) {
+      ++ctx.point_index;
+      ObjectMeta* metas[kCap];
+      for (std::size_t i = 0; i < n; ++i) metas[i] = &vars[i]->meta();
+      tracker.pre_store_batch(ctx, metas, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        vars[i]->store_prepared(ctx, values[i]);
+      }
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) vars[i]->store(tracker, ctx, values[i]);
+}
 
 // Array of tracked slots sharing one metadata granularity choice: the paper
 // tracks whole objects ("the term 'object' refers to any unit of shared

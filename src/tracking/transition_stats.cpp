@@ -31,6 +31,8 @@ constexpr Field kFields[] = {
     {"responding_safepoints", &TransitionStats::responding_safepoints},
     {"psros", &TransitionStats::psros},
     {"region_restarts", &TransitionStats::region_restarts},
+    {"coord_batch_rounds", &TransitionStats::coord_batch_rounds},
+    {"coord_batch_objects", &TransitionStats::coord_batch_objects},
 };
 
 }  // namespace
@@ -52,6 +54,8 @@ TransitionStats& TransitionStats::operator+=(const TransitionStats& o) {
   responding_safepoints += o.responding_safepoints;
   psros += o.psros;
   region_restarts += o.region_restarts;
+  coord_batch_rounds += o.coord_batch_rounds;
+  coord_batch_objects += o.coord_batch_objects;
   return *this;
 }
 

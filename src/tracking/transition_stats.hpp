@@ -41,6 +41,13 @@ struct TransitionStats {
   std::uint64_t psros = 0;
   std::uint64_t region_restarts = 0;
 
+  // --- batched coordination (DESIGN.md §13) ---------------------------------
+  // Requester-side only: rounds answered through coordinate_batch and the
+  // objects they covered. coord_batch_rounds is a subset of
+  // coordination_rounds; objects/rounds is the realized batch factor.
+  std::uint64_t coord_batch_rounds = 0;
+  std::uint64_t coord_batch_objects = 0;
+
   std::uint64_t opt_conflicting() const {
     return opt_confl_explicit + opt_confl_implicit;
   }
@@ -66,9 +73,9 @@ struct TransitionStats {
   // pess-cont opt->pess pess->opt".
   std::string table2_row() const;
 
-  // Flat JSON object of all sixteen counters, one key per field (same names
-  // as the members). Round-trips through from_json; --json bench reports
-  // embed it verbatim.
+  // Flat JSON object of all counters, one key per field (same names as the
+  // members). Round-trips through from_json; --json bench reports embed it
+  // verbatim.
   std::string to_json() const;
 
   // Parses a to_json() object. Unknown keys are ignored (older readers keep

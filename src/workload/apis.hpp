@@ -45,6 +45,12 @@ class DirectApi {
   void store(TrackedVar<std::uint64_t>& v, std::uint64_t x) {
     v.store(*tracker_, *ctx_, x);
   }
+  // Batched store (DESIGN.md §13): one instrumentation point, one
+  // coordination round for a single-owner conflicting group.
+  void store_batch(TrackedVar<std::uint64_t>* const* vars,
+                   const std::uint64_t* values, std::size_t n) {
+    ht::store_batch(*tracker_, *ctx_, vars, values, n);
+  }
   void lock(ProgramLock& l) { l.acquire(*ctx_); }
   void unlock(ProgramLock& l) { l.release(*ctx_); }
   void poll() { rt_->poll(*ctx_); }
@@ -96,6 +102,11 @@ class EnforcerApi {
     v.store(enforcer_->tracker(), *ctx_, x);
     ++ctx_->region_access_count;
   }
+  void store_batch(TrackedVar<std::uint64_t>* const* vars,
+                   const std::uint64_t* values, std::size_t n) {
+    ht::store_batch(enforcer_->tracker(), *ctx_, vars, values, n);
+    ctx_->region_access_count += n;
+  }
   void lock(ProgramLock& l) { l.acquire(*ctx_); }
   void unlock(ProgramLock& l) { l.release(*ctx_); }
   void poll() { rt_->poll(*ctx_); }
@@ -140,6 +151,24 @@ class ReplayApi {
   void store(TrackedVar<std::uint64_t>& v, std::uint64_t x) {
     rp_->at_point(tid_);
     v.raw_store(x);
+  }
+  // A recorded batch was one instrumentation point covering all n stores;
+  // its edges must be honored before any of the raw stores happen. Mirrors
+  // ht::store_batch's point accounting for batch-capable trackers (the ones
+  // recordings are made with): oversized batches fell back to one point per
+  // store on the record side.
+  void store_batch(TrackedVar<std::uint64_t>* const* vars,
+                   const std::uint64_t* values, std::size_t n) {
+    if (n == 0) return;
+    if (n > 32) {
+      for (std::size_t i = 0; i < n; ++i) {
+        rp_->at_point(tid_);
+        vars[i]->raw_store(values[i]);
+      }
+      return;
+    }
+    rp_->at_point(tid_);
+    for (std::size_t i = 0; i < n; ++i) vars[i]->raw_store(values[i]);
   }
   // Lock acquire was one instrumentation point; release was a PSRO.
   void lock(ProgramLock&) { rp_->at_point(tid_); }

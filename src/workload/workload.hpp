@@ -51,6 +51,9 @@ struct WorkloadConfig {
   std::uint32_t hotsync_p100k = 0;    // hot object under its own lock
   std::uint32_t hotracy_p100k = 0;    // hot object, no lock (object-level race)
   std::uint32_t hotglobal_p100k = 0;  // hot object under one global lock
+  std::uint32_t batchxfer_p100k = 0;  // batched store over a hot-object group
+                                      // (one instrumentation point,
+                                      // DESIGN.md §13)
 
   // Pool sizes.
   std::size_t private_objects = 512;  // per thread
@@ -195,7 +198,8 @@ enum class RegionKind : std::uint8_t {
   kSharedGen,
   kHotSync,
   kHotRacy,
-  kHotGlobal
+  kHotGlobal,
+  kBatchXfer
 };
 
 struct RegionPlan {
@@ -223,6 +227,8 @@ inline RegionPlan plan_region(Xoshiro256& rng, const WorkloadConfig& cfg) {
     p.kind = RegionKind::kHotRacy;
   } else if (dice < (acc += cfg.hotglobal_p100k)) {
     p.kind = RegionKind::kHotGlobal;
+  } else if (dice < (acc += cfg.batchxfer_p100k)) {
+    p.kind = RegionKind::kBatchXfer;
   } else {
     p.kind = RegionKind::kPrivate;
   }
@@ -239,8 +245,14 @@ inline RegionPlan plan_region(Xoshiro256& rng, const WorkloadConfig& cfg) {
                          p.kind == RegionKind::kHotSync ||
                          p.kind == RegionKind::kHotRacy ||
                          p.kind == RegionKind::kHotGlobal;
-    p.obj_sel[i] = focused ? focus : rng.next();
-    p.is_write[i] = rng.chance(wpct, 100);
+    // BatchXfer writes a contiguous hot-object group (the objects a prior
+    // writer owns together), so its one batched point can cover the group
+    // with a single coordination round.
+    p.obj_sel[i] = p.kind == RegionKind::kBatchXfer ? focus + i
+                   : focused                        ? focus
+                                                    : rng.next();
+    p.is_write[i] =
+        p.kind == RegionKind::kBatchXfer || rng.chance(wpct, 100);
     p.wr_val[i] = rng.next();
   }
   return p;
@@ -285,6 +297,18 @@ std::uint64_t workload_thread_body(Api& api, const WorkloadConfig& cfg,
     // loaded values land in `vals` (overwritten on restart), and all stores
     // are tracked (undone by the enforcer on restart).
     api.region([&] {
+      if (p.kind == RegionKind::kBatchXfer) {
+        // One batched instrumentation point over the whole hot-object group
+        // (DESIGN.md §13): the tracker secures all objects with at most one
+        // coordination round before any value is written.
+        TrackedVar<std::uint64_t>* objs[kMaxRegionAccesses];
+        for (std::uint32_t i = 0; i < p.accesses; ++i) {
+          objs[i] = &data.hot(p.obj_sel[i]);
+          vals[i] = 0;
+        }
+        api.store_batch(objs, p.wr_val, p.accesses);
+        return;
+      }
       for (std::uint32_t i = 0; i < p.accesses; ++i) {
         TrackedVar<std::uint64_t>* obj;
         switch (p.kind) {

@@ -4,6 +4,7 @@
 #include <set>
 #include <thread>
 
+#include "common/cache_line.hpp"
 #include "common/flat_set.hpp"
 #include "common/json.hpp"
 #include "common/mpsc_queue.hpp"
@@ -210,6 +211,87 @@ TEST(FlatPtrSet, GrowsPastInitialCapacity) {
   for (const auto& p : ptrs) EXPECT_TRUE(s.contains(p.get()));
 }
 
+TEST(FlatPtrSet, SurvivesClearReuseCycles) {
+  // The pessimistic read set is cleared wholesale at every lock-buffer
+  // flush and immediately refilled; membership must stay exact across many
+  // such cycles (no stale tombstones, no leaked load factor).
+  FlatPtrSet s(16);
+  int dummy[64];
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 64; ++i) EXPECT_TRUE(s.insert(&dummy[i]));
+    EXPECT_EQ(s.size(), 64u);
+    for (int i = 0; i < 64; ++i) EXPECT_TRUE(s.contains(&dummy[i]));
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.contains(&dummy[cycle % 64]));
+  }
+}
+
+TEST(FlatPtrSet, DuplicateInsertsNeverGrowSize) {
+  FlatPtrSet s(16);
+  int x = 0;
+  EXPECT_TRUE(s.insert(&x));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(s.insert(&x));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatPtrSet, GrowPreservesMembershipAcrossLoadFactorBoundary) {
+  // Cross the 3/4 load boundary of the smallest table exactly: capacity 16
+  // grows when the 13th insertion would exceed 12/16.
+  FlatPtrSet s(1);  // rounds up to the 16-slot minimum
+  std::vector<std::unique_ptr<int>> ptrs;
+  for (int i = 0; i < 13; ++i) {
+    ptrs.push_back(std::make_unique<int>(i));
+    EXPECT_TRUE(s.insert(ptrs.back().get()));
+    // Every earlier pointer survives each incremental rehash.
+    for (const auto& p : ptrs) EXPECT_TRUE(s.contains(p.get()));
+  }
+  EXPECT_EQ(s.size(), 13u);
+}
+
+TEST(FlatPtrSet, ClearOnEmptyIsIdempotent) {
+  FlatPtrSet s;
+  s.clear();
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  int x = 0;
+  EXPECT_FALSE(s.contains(&x));
+}
+
+// --- CachePadded ---------------------------------------------------------------------
+
+TEST(CachePadded, WrapsValueInAnAlignedLine) {
+  static_assert(kCacheLine == 64, "padding fixed at 64 bytes by design");
+  static_assert(alignof(CachePadded<std::uint32_t>) == kCacheLine);
+  static_assert(sizeof(CachePadded<std::uint32_t>) == kCacheLine);
+  // A value wider than one line pads up to whole lines, never truncates.
+  struct Wide {
+    char bytes[kCacheLine + 1];
+  };
+  static_assert(sizeof(CachePadded<Wide>) % kCacheLine == 0);
+  static_assert(sizeof(CachePadded<Wide>) >= sizeof(Wide));
+
+  CachePadded<std::uint64_t> p(7);
+  EXPECT_EQ(*p, 7u);
+  *p = 9;
+  EXPECT_EQ(*p, 9u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&p) % kCacheLine, 0u);
+}
+
+TEST(CachePadded, AdjacentElementsLandOnDistinctLines) {
+  // The whole point: two hot counters that are neighbors in memory must not
+  // share a line (one spinner's invalidations would stall the other).
+  CachePadded<std::atomic<std::uint64_t>> counters[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&counters[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&counters[1].value);
+  EXPECT_GE(b > a ? b - a : a - b, kCacheLine);
+  EXPECT_NE(a / kCacheLine, b / kCacheLine);
+  counters[0].value.store(1);
+  counters[1]->store(2);
+  EXPECT_EQ(counters[0]->load(), 1u);
+  EXPECT_EQ(counters[1]->load(), 2u);
+}
+
 // --- MpscQueue ------------------------------------------------------------------------
 
 struct Node {
@@ -231,6 +313,100 @@ TEST(MpscQueue, FifoWithinOneProducer) {
     head = head->next;
   }
   EXPECT_EQ(head, nullptr);
+  EXPECT_TRUE(q.empty_relaxed());
+}
+
+TEST(MpscQueue, DrainPreservesPerProducerFifoOrder) {
+  // The coordination mailbox answers each requester's entries in the order
+  // that requester pushed them (a batch round's response stamps must pair
+  // with the round that asked). Global order across producers is
+  // unspecified; per-producer order is the contract under test.
+  MpscQueue<Node> q;
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::vector<std::vector<Node>> nodes(kProducers,
+                                       std::vector<Node>(kPerProducer));
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        nodes[p][i].value = p * kPerProducer + i;
+        q.push(&nodes[p][i]);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::vector<int> last_seen(kProducers, -1);
+  int total = 0;
+  for (Node* n = q.drain(); n != nullptr; n = n->next) {
+    const int p = n->value / kPerProducer;
+    const int i = n->value % kPerProducer;
+    EXPECT_GT(i, last_seen[p]) << "producer " << p << " reordered";
+    last_seen[p] = i;
+    ++total;
+  }
+  EXPECT_EQ(total, kProducers * kPerProducer);
+}
+
+TEST(MpscQueue, NodesWrapAcrossDrainCycles) {
+  // Requesters reuse a tiny fixed node pool (ThreadContext keeps 4), so the
+  // same node objects flow through push/drain many times; each cycle must
+  // see a self-consistent list with no carryover from the previous drain.
+  MpscQueue<Node> q;
+  Node pool[4];
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const int n = 1 + cycle % 4;
+    for (int i = 0; i < n; ++i) {
+      pool[i].value = cycle * 10 + i;
+      q.push(&pool[i]);
+    }
+    EXPECT_FALSE(q.empty_relaxed());
+    int i = 0;
+    for (Node* head = q.drain(); head != nullptr; head = head->next, ++i) {
+      EXPECT_EQ(head->value, cycle * 10 + i);
+    }
+    EXPECT_EQ(i, n);
+    EXPECT_TRUE(q.empty_relaxed());
+    EXPECT_EQ(q.drain(), nullptr);  // double drain is harmless
+  }
+}
+
+TEST(MpscQueue, DrainWhileProducersAreStillPushing) {
+  // The consumer drains at safe points while requesters keep arriving; every
+  // node must surface in exactly one drain, and interleaved drains must
+  // never corrupt the per-producer FIFO contract.
+  MpscQueue<Node> q;
+  constexpr int kProducers = 3, kPerProducer = 2000;
+  std::vector<std::vector<Node>> nodes(kProducers,
+                                       std::vector<Node>(kPerProducer));
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        nodes[p][i].value = p * kPerProducer + i;
+        q.push(&nodes[p][i]);
+      }
+    });
+  }
+  std::vector<int> last_seen(kProducers, -1);
+  int total = 0;
+  const auto consume = [&] {
+    for (Node* n = q.drain(); n != nullptr; n = n->next) {
+      const int p = n->value / kPerProducer;
+      const int i = n->value % kPerProducer;
+      EXPECT_GT(i, last_seen[p]);
+      last_seen[p] = i;
+      ++total;
+    }
+  };
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire)) consume();
+    consume();  // final sweep after the last push
+  });
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  EXPECT_EQ(total, kProducers * kPerProducer);
   EXPECT_TRUE(q.empty_relaxed());
 }
 

@@ -1,0 +1,123 @@
+// Seed-corpus regression test: every line of tests/corpus/*.txt is a
+// previously-interesting chaos/fuzz configuration — a seed that once
+// exposed a bug, or a corner the generic suites do not pin — replayed
+// through the same deterministic harness test_schedule_chaos uses. Past
+// bugs stay fixed because their exact reproducers re-run on every build.
+//
+// Line format (whitespace-separated, `#` starts a comment):
+//
+//   <family> <program_seed> <threads> <objects> <ops> <faults:0|1>
+//       <schedules> <preemption_bound>
+//
+// e.g. `hybrid 4242 3 4 12 1 60 3`. Families: pessimistic | optimistic |
+// hybrid | ideal. A failing entry prints its file, line, and the explorer
+// violation (schedule seed + slot trace), which tools/schedule_explore
+// --replay reproduces bit-identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faultinject/fault_injector.hpp"
+#include "schedule/explorer.hpp"
+#include "schedule/program.hpp"
+
+#ifndef HT_TEST_CORPUS_DIR
+#error "HT_TEST_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace ht::schedule {
+namespace {
+
+struct CorpusEntry {
+  std::string origin;  // "<file>:<line>" for failure messages
+  Family family = Family::kHybrid;
+  std::uint64_t program_seed = 0;
+  int threads = 2;
+  int objects = 2;
+  int ops = 8;
+  bool faults = false;
+  std::uint64_t schedules = 60;
+  int preemption_bound = 3;
+};
+
+std::vector<CorpusEntry> load_corpus() {
+  std::vector<CorpusEntry> entries;
+  std::vector<std::filesystem::path> files;
+  for (const auto& e :
+       std::filesystem::directory_iterator(HT_TEST_CORPUS_DIR)) {
+    if (e.path().extension() == ".txt") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+  for (const std::filesystem::path& path : files) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "unreadable corpus file " << path;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream ls(line);
+      std::string family_word;
+      if (!(ls >> family_word)) continue;  // blank / comment-only line
+      CorpusEntry e;
+      e.origin = path.filename().string() + ":" + std::to_string(lineno);
+      const std::optional<Family> fam = family_from_name(family_word);
+      EXPECT_TRUE(fam.has_value())
+          << e.origin << ": unknown family '" << family_word << "'";
+      if (!fam) continue;
+      e.family = *fam;
+      int faults_flag = 0;
+      EXPECT_TRUE(static_cast<bool>(ls >> e.program_seed >> e.threads >>
+                                    e.objects >> e.ops >> faults_flag >>
+                                    e.schedules >> e.preemption_bound))
+          << e.origin << ": malformed corpus line '" << line << "'";
+      e.faults = faults_flag != 0;
+      entries.push_back(e);
+    }
+  }
+  return entries;
+}
+
+TEST(SeedCorpus, EveryCheckedInSeedStaysClean) {
+  const std::vector<CorpusEntry> entries = load_corpus();
+  // An empty corpus would mean the directory path is wrong and this test is
+  // silently vacuous — fail loudly instead.
+  ASSERT_FALSE(entries.empty())
+      << "no corpus entries under " << HT_TEST_CORPUS_DIR;
+
+  for (const CorpusEntry& e : entries) {
+    const Program prog =
+        make_chaos_program(e.program_seed, e.threads, e.objects, e.ops);
+    Explorer ex(e.family, e.threads);
+    FaultConfig faults;
+    if (e.faults) {
+      faults.seed = e.program_seed;
+      faults.stall_polls = 8;  // corpus schedules are short; keep stalls short
+      faults.enable(FaultSite::kPollSkip, 20'000)
+          .enable(FaultSite::kCoordStall, 5'000);
+      ex.run_config().faults = &faults;
+    }
+    const ExploreOutcome out =
+        ex.explore_fuzz(prog, /*seed=*/e.program_seed * 31 + 7, e.schedules,
+                        e.preemption_bound);
+    if (out.violation) {
+      ADD_FAILURE() << "corpus entry " << e.origin << " (seed "
+                    << e.program_seed << ", " << family_name(e.family) << ", "
+                    << e.threads << "t/" << e.objects << "o/" << e.ops
+                    << " ops" << (e.faults ? ", faults" : "") << ")\n"
+                    << out.violation->to_string();
+    }
+    EXPECT_EQ(out.stats.schedules, e.schedules) << e.origin;
+    EXPECT_EQ(out.stats.deadlocks, 0u) << e.origin;
+    EXPECT_EQ(out.stats.truncated, 0u) << e.origin;
+  }
+}
+
+}  // namespace
+}  // namespace ht::schedule

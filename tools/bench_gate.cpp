@@ -1,0 +1,193 @@
+// bench_gate: perf-regression gate over --json bench reports.
+//
+// Compares one BENCH_*.json report (produced by any bench built on
+// BenchJsonReport) against a committed gate spec and fails the build when a
+// gated metric leaves its band. Bands are deliberately machine-independent
+// where possible: RATIOS (speedup_median, batch_objects_mean, counter-derived
+// values) gate with absolute min/max bounds, while raw timings gate against a
+// recorded baseline with a tolerance percentage — loose enough to absorb CI
+// noise, tight enough to catch a real regression.
+//
+// Gate spec (bench/baselines/*.json):
+//   {
+//     "bench": "contended_transfer",          // must match report "bench"
+//     "gates": [
+//       {"workload": "t8_k16_h1", "config": "batched",
+//        "key": "values.speedup_median", "min": 1.10},
+//       {"workload": "t8_k16_h1", "config": "batched",
+//        "key": "values.batch_objects_mean", "min": 1.5, "max": 64.0},
+//       {"workload": "syncInc", "config": "hybrid",
+//        "key": "seconds.median", "baseline": 1.1e-3, "tol_pct": 50}
+//     ]
+//   }
+//
+// "key" is a dotted path into the matched row ("values.x", "seconds.median",
+// "stats.coordination_rounds"). A gate may give min and/or max, or
+// baseline+tol_pct (band = baseline * (1 ± tol_pct/100)); mixing both styles
+// in one gate is rejected. A missing row or key FAILS the gate — a renamed
+// workload silently dropping its gate is exactly the rot this tool exists to
+// catch.
+//
+// Exit codes: 0 all gates pass, 1 usage error, 2 spec/report unreadable or
+// malformed, 3 at least one gate failed.
+//
+//   build/tools/bench_gate <gate_spec.json> <bench_report.json>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kUsage = 1;
+constexpr int kBadInput = 2;
+constexpr int kGateFailed = 3;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// Dotted-path lookup into a row object; returns nullptr when any segment is
+// missing or the leaf is not a number.
+const ht::json::Value* find_key(const ht::json::Value& row,
+                                const std::string& dotted) {
+  const ht::json::Value* cur = &row;
+  std::size_t start = 0;
+  while (start <= dotted.size()) {
+    const std::size_t dot = dotted.find('.', start);
+    const std::string seg = dotted.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    if (!cur->contains(seg)) return nullptr;
+    cur = &cur->at(seg);
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return cur->is_number() ? cur : nullptr;
+}
+
+const ht::json::Value* find_row(const ht::json::Value& report,
+                                const std::string& workload,
+                                const std::string& config) {
+  for (const ht::json::Value& row : report.at("rows").as_array()) {
+    if (row.at("workload").as_string() == workload &&
+        row.at("config").as_string() == config) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: bench_gate <gate_spec.json> <bench_report.json>\n");
+    return kUsage;
+  }
+  const std::string spec_path = argv[1];
+  const std::string report_path = argv[2];
+
+  std::string text, err;
+  ht::json::Value spec, report;
+  if (!read_file(spec_path, text) || !ht::json::parse(text, spec, &err)) {
+    std::fprintf(stderr, "bench_gate: cannot read spec %s: %s\n",
+                 spec_path.c_str(), err.c_str());
+    return kBadInput;
+  }
+  if (!read_file(report_path, text) || !ht::json::parse(text, report, &err)) {
+    std::fprintf(stderr, "bench_gate: cannot read report %s: %s\n",
+                 report_path.c_str(), err.c_str());
+    return kBadInput;
+  }
+  if (!spec.at("bench").is_string() || !report.at("bench").is_string() ||
+      spec.at("bench").as_string() != report.at("bench").as_string()) {
+    std::fprintf(stderr, "bench_gate: spec is for '%s' but report is '%s'\n",
+                 spec.at("bench").as_string().c_str(),
+                 report.at("bench").as_string().c_str());
+    return kBadInput;
+  }
+  if (!spec.at("gates").is_array() || spec.at("gates").as_array().empty()) {
+    std::fprintf(stderr, "bench_gate: spec has no gates\n");
+    return kBadInput;
+  }
+
+  std::printf("bench_gate: %s vs %s (%zu gates)\n",
+              report_path.c_str(), spec_path.c_str(),
+              spec.at("gates").as_array().size());
+  std::printf("  %-12s %-10s %-26s %12s %26s  %s\n", "workload", "config",
+              "key", "observed", "band", "verdict");
+
+  int failures = 0;
+  for (const ht::json::Value& gate : spec.at("gates").as_array()) {
+    const std::string workload = gate.at("workload").as_string();
+    const std::string config = gate.at("config").as_string();
+    const std::string key = gate.at("key").as_string();
+    const std::string where = workload + "/" + config + " " + key;
+
+    const bool banded = gate.contains("baseline") || gate.contains("tol_pct");
+    const bool bounded = gate.contains("min") || gate.contains("max");
+    if (banded == bounded) {
+      std::fprintf(stderr,
+                   "bench_gate: gate %s must use either min/max or "
+                   "baseline+tol_pct\n",
+                   where.c_str());
+      return kBadInput;
+    }
+    double lo, hi;
+    char band[64];
+    if (banded) {
+      if (!gate.at("baseline").is_number() || !gate.at("tol_pct").is_number()) {
+        std::fprintf(stderr, "bench_gate: gate %s: baseline/tol_pct must be "
+                     "numbers\n", where.c_str());
+        return kBadInput;
+      }
+      const double base = gate.at("baseline").as_double();
+      const double tol = gate.at("tol_pct").as_double() / 100.0;
+      lo = base * (1.0 - tol);
+      hi = base * (1.0 + tol);
+      std::snprintf(band, sizeof band, "%.4g ±%.0f%%", base, tol * 100.0);
+    } else {
+      lo = gate.contains("min") ? gate.at("min").as_double() : -1e308;
+      hi = gate.contains("max") ? gate.at("max").as_double() : 1e308;
+      if (gate.contains("min") && gate.contains("max")) {
+        std::snprintf(band, sizeof band, "[%.4g, %.4g]", lo, hi);
+      } else if (gate.contains("min")) {
+        std::snprintf(band, sizeof band, ">= %.4g", lo);
+      } else {
+        std::snprintf(band, sizeof band, "<= %.4g", hi);
+      }
+    }
+
+    const ht::json::Value* row = find_row(report, workload, config);
+    const ht::json::Value* leaf = row ? find_key(*row, key) : nullptr;
+    if (leaf == nullptr) {
+      std::printf("  %-12s %-10s %-26s %12s %26s  FAIL (%s)\n",
+                  workload.c_str(), config.c_str(), key.c_str(), "-", band,
+                  row ? "key missing" : "row missing");
+      ++failures;
+      continue;
+    }
+    const double v = leaf->as_double();
+    const bool pass = v >= lo && v <= hi;
+    std::printf("  %-12s %-10s %-26s %12.6g %26s  %s\n", workload.c_str(),
+                config.c_str(), key.c_str(), v, band, pass ? "ok" : "FAIL");
+    if (!pass) ++failures;
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_gate: %d gate(s) FAILED\n", failures);
+    return kGateFailed;
+  }
+  std::printf("bench_gate: all gates pass\n");
+  return kOk;
+}
