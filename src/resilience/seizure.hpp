@@ -75,12 +75,18 @@ inline bool seize_object(ThreadContext& self, ObjectMeta& m, ThreadId victim,
     if (s.kind() == StateKind::kInt) {
       // The victim parked owning a coordination intermediate; replace it
       // with the landing in one CAS — waiters re-read and proceed.
-      if (m.cas_state(expected, seizure_landing(s, land_pessimistic))) break;
+      if (m.cas_state(expected, seizure_landing(s, land_pessimistic))) {
+        HT_TELEM_TRANSITION(self, &m, s, seizure_landing(s, land_pessimistic));
+        break;
+      }
     } else {
       // Locked state: claim via Int_self first (the protocol every slow
       // path already understands), then land.
       if (m.cas_state(expected, StateWord::intermediate(self.id))) {
+        HT_TELEM_TRANSITION(self, &m, s, StateWord::intermediate(self.id));
         m.store_state(seizure_landing(s, land_pessimistic));
+        HT_TELEM_TRANSITION(self, &m, StateWord::intermediate(self.id),
+                            seizure_landing(s, land_pessimistic));
         break;
       }
     }

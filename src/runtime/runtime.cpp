@@ -41,16 +41,21 @@ void Runtime::unregister_thread(ThreadContext& ctx) {
   }
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
   ctx.run_region_log_hook();  // recorder: deterministic bump -> region mark
-  HT_TELEM_EVENT(ctx, kThreadExit, ctx.release_counter_relaxed(), 0, 0);
   registry_.mark_exited(ctx);
   // Answer any stragglers that ticketed before seeing the parked status.
+  // The exit event carries the answered watermark range (before, after] so
+  // offline span stitching can bind those tickets to this exit.
   const std::uint64_t req =
       ctx.requester_side.request_tickets.load(std::memory_order_acquire);
-  if (req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed)) {
+  const std::uint64_t wm_before =
+      ctx.owner_side.response_watermark.load(std::memory_order_relaxed);
+  if (req > wm_before) {
     ctx.owner_side.response_watermark.store(req, std::memory_order_release);
   }
+  HT_TELEM_EVENT(ctx, kThreadExit, ctx.release_counter_relaxed(),
+                 req > wm_before ? req : wm_before, wm_before);
   // Batch stragglers likewise: answered by the exit flush-and-bump above.
-  drain_mailbox(ctx, ctx.release_counter_relaxed());
+  drain_mailbox(ctx, ctx, ctx.release_counter_relaxed());
 }
 
 void Runtime::psro(ThreadContext& ctx) {
@@ -66,25 +71,31 @@ void Runtime::psro(ThreadContext& ctx) {
   ctx.run_flush_hook();
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
   ctx.run_region_log_hook();  // recorder: deterministic bump -> region mark
-  HT_TELEM_EVENT(ctx, kPsro, ctx.release_counter_relaxed(), 0, 0);
   // Pending requests are satisfied by the flush we just performed; the PSRO
   // bump doubles as the responding bump, so no extra increment and no
   // response log entry (the PSRO bump is deterministic — DESIGN.md §4.4).
+  // The PSRO event carries the answered watermark range (before, after] for
+  // offline span stitching, so it is emitted after the publish.
   const std::uint64_t req =
       ctx.requester_side.request_tickets.load(std::memory_order_acquire);
-  if (req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed)) {
+  const std::uint64_t wm_before =
+      ctx.owner_side.response_watermark.load(std::memory_order_relaxed);
+  if (req > wm_before) {
     ctx.owner_side.response_watermark.store(req, std::memory_order_release);
     ++ctx.stats.responding_safepoints;
   }
+  HT_TELEM_EVENT(ctx, kPsro, ctx.release_counter_relaxed(),
+                 req > wm_before ? req : wm_before, wm_before);
   // Batch requests are equally satisfied by the PSRO's flush-and-bump.
-  drain_mailbox(ctx, ctx.release_counter_relaxed());
+  drain_mailbox(ctx, ctx, ctx.release_counter_relaxed());
 }
 
 void Runtime::respond(ThreadContext& ctx) {
   const std::uint64_t req =
       ctx.requester_side.request_tickets.load(std::memory_order_acquire);
-  const bool scalar =
-      req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed);
+  const std::uint64_t wm_before =
+      ctx.owner_side.response_watermark.load(std::memory_order_relaxed);
+  const bool scalar = req > wm_before;
   if (!scalar && !ctx.batch_requests_pending()) return;
   ctx.run_abort_hook();  // enforcer: roll back region writes while still owner
   ctx.run_flush_hook();  // hybrid: deferred unlocking's buffer flush
@@ -94,13 +105,18 @@ void Runtime::respond(ThreadContext& ctx) {
   }
   // One safe-point visit answers the whole mailbox backlog, each node
   // stamped with the same post-bump counter (DESIGN.md §13).
-  drain_mailbox(ctx, ctx.release_counter_relaxed());
+  drain_mailbox(ctx, ctx, ctx.release_counter_relaxed());
   ++ctx.stats.responding_safepoints;
-  HT_TELEM_EVENT(ctx, kSafePointResponse, ctx.release_counter_relaxed(), 0, 0);
+  // arg1/arg2 = watermark after/before: the tickets in (before, after] were
+  // answered by exactly this response (offline span stitching, §14).
+  HT_TELEM_EVENT(ctx, kSafePointResponse, ctx.release_counter_relaxed(),
+                 scalar ? req : wm_before, wm_before);
   ctx.run_resp_log_hook();  // recorder: nondeterministic bump -> log it
 }
 
-void Runtime::drain_mailbox(ThreadContext& ctx, std::uint64_t src_release) {
+void Runtime::drain_mailbox(ThreadContext& recorder, ThreadContext& ctx,
+                            std::uint64_t src_release) {
+  (void)recorder;  // only the telemetry build records on its ring
   if (!ctx.batch_requests_pending()) return;
   // Exclusive-consumer gate: the owner at a safe point and a quarantining
   // thread releasing the owner's backlog may race here; the loser leaves the
@@ -114,8 +130,11 @@ void Runtime::drain_mailbox(ThreadContext& ctx, std::uint64_t src_release) {
   }
   for (CoordBatchNode* n = ctx.mailbox.queue.drain(); n != nullptr;) {
     // The consumed store frees the node for reuse by its requester — read
-    // the link first, and never touch the node after the store.
+    // the link (and the span fields the event needs) first, and never touch
+    // the node after the store.
     CoordBatchNode* next = n->next;
+    HT_TELEM_EVENT(recorder, kCoordBatchDrain, n->span_id, n->requester,
+                   n->objects);
     n->src_release.store(src_release, std::memory_order_relaxed);
     n->consumed.store(true, std::memory_order_release);
     n = next;
@@ -149,7 +168,19 @@ void Runtime::begin_blocking(ThreadContext& ctx) {
   ctx.run_flush_hook();
   ctx.owner_side.release_counter.fetch_add(1, std::memory_order_release);
   ++ctx.stats.responding_safepoints;
-  HT_TELEM_EVENT(ctx, kBlockingEnter, ctx.release_counter_relaxed(), 0, 0);
+  // Stragglers that ticketed before this flush are satisfied by it; publish
+  // the watermark before parking (same ordering as respond() — tickets taken
+  // after this load resolve implicitly once BLOCKED is visible) so the enter
+  // event can carry the answered range for offline span stitching.
+  const std::uint64_t req =
+      ctx.requester_side.request_tickets.load(std::memory_order_acquire);
+  const std::uint64_t wm_before =
+      ctx.owner_side.response_watermark.load(std::memory_order_relaxed);
+  if (req > wm_before) {
+    ctx.owner_side.response_watermark.store(req, std::memory_order_release);
+  }
+  HT_TELEM_EVENT(ctx, kBlockingEnter, ctx.release_counter_relaxed(),
+                 req > wm_before ? req : wm_before, wm_before);
   ctx.run_resp_log_hook();
   // Publish BLOCKED with a CAS: a concurrent quarantine_thread may have
   // flipped the status since we loaded it, and a plain store would clobber
@@ -160,15 +191,8 @@ void Runtime::begin_blocking(ThreadContext& ctx) {
       std::memory_order_relaxed)) {
     if (ThreadStatus::is_quarantined(s)) quarantined_self_park(ctx);
   }
-  // Stragglers that ticketed before observing BLOCKED: satisfied by the
-  // flush above; just publish the watermark.
-  const std::uint64_t req =
-      ctx.requester_side.request_tickets.load(std::memory_order_acquire);
-  if (req > ctx.owner_side.response_watermark.load(std::memory_order_relaxed)) {
-    ctx.owner_side.response_watermark.store(req, std::memory_order_release);
-  }
   // Batch stragglers that posted before observing BLOCKED, same deal.
-  drain_mailbox(ctx, ctx.release_counter_relaxed());
+  drain_mailbox(ctx, ctx, ctx.release_counter_relaxed());
 }
 
 void Runtime::end_blocking(ThreadContext& ctx) {
@@ -211,7 +235,7 @@ void Runtime::quarantined_self_park(ThreadContext& ctx) {
   // Release any batch requesters still posted to us. Quarantine semantics
   // match scalar implicit coordination with a quarantined owner: the edge
   // value is our current counter, the state handoff happens by seizure.
-  drain_mailbox(ctx, ctx.release_counter_relaxed());
+  drain_mailbox(ctx, ctx, ctx.release_counter_relaxed());
   throw ThreadQuarantined{ctx.id};
 }
 
@@ -248,9 +272,11 @@ bool Runtime::quarantine_thread(ThreadContext& self, ThreadId victim) {
   // Release the victim's batch waiters too, stamped with its current
   // counter — the same value the implicit path reads from a quarantined
   // owner. The draining flag keeps this from racing a not-yet-parked victim
-  // consuming its own mailbox.
-  drain_mailbox(remote, remote.owner_side.release_counter.load(
-                            std::memory_order_acquire));
+  // consuming its own mailbox. The drain events land on OUR ring (`self` is
+  // the executing thread; the victim's ring is not ours to write).
+  drain_mailbox(self, remote,
+                remote.owner_side.release_counter.load(
+                    std::memory_order_acquire));
   HT_TELEM_EVENT(self, kQuarantine, victim, ThreadStatus::epoch(q), req);
   if (cfg_.resilience.on_quarantine) {
     cfg_.resilience.on_quarantine(self, remote);
@@ -310,6 +336,9 @@ std::optional<Runtime::CoordResult> Runtime::coordinate_impl(
       remote.requester_side.request_tickets.fetch_add(
           1, std::memory_order_acq_rel) +
       1;
+  // Span open (§14): identity is (owner, ticket); the matching close is this
+  // thread's kCoordRoundTrip, the owner half joins by watermark range.
+  HT_TELEM_EVENT(self, kCoordRequest, ticket, owner, 0);
   const WatchdogConfig& wd = cfg_.watchdog;
   const bool police = max_epochs == 0 && wd.enabled;
   // Jitter the sleep ticks by requester id: coordinators whose leases on the
@@ -459,10 +488,14 @@ void Runtime::coordinate_batch_multi(ThreadContext& self, BatchGroup* groups,
     }
     node->requester = self.id;
     node->objects = g.n_objects;
+    node->span_id = ++self.coord_span_counter;
     node->src_release.store(0, std::memory_order_relaxed);
     // Marks the node in flight, so the next claim_batch_node() in this very
     // loop picks a different one.
     node->consumed.store(false, std::memory_order_relaxed);
+    // Span open (§14): identity is (requester, span id); whoever drains the
+    // node echoes the id in a kCoordBatchDrain on its own ring.
+    HT_TELEM_EVENT(self, kCoordRequest, node->span_id, g.owner, 1);
     remote.mailbox.queue.push(node);  // the push's CAS releases the fills
     ++self.stats.coordination_rounds;
     nodes[i] = node;

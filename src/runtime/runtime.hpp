@@ -358,7 +358,11 @@ class Runtime {
   // unlinked it). Serialized by ctx.mailbox.draining because the owner and a
   // quarantining thread may race to consume; losing the flag race is fine —
   // whoever holds it answers the backlog with an equally valid counter.
-  static void drain_mailbox(ThreadContext& ctx, std::uint64_t src_release);
+  // `recorder` is the executing thread (== ctx except when a quarantiner
+  // releases a victim's backlog); its single-writer telemetry ring receives
+  // the kCoordBatchDrain span events.
+  static void drain_mailbox(ThreadContext& recorder, ThreadContext& ctx,
+                            std::uint64_t src_release);
 
   // Out-of-line fault-injection bodies (keep faultinject out of the hot
   // inline path; called only when injector_ != nullptr).

@@ -32,6 +32,7 @@ void ThreadContext::reset(ThreadId new_id, Runtime* rt) {
   exited.store(false, std::memory_order_relaxed);
   quarantined_self = false;
   heartbeat = 0;
+  coord_span_counter = 0;
   owner_side.status.store(0, std::memory_order_relaxed);
   owner_side.response_watermark.store(0, std::memory_order_relaxed);
   owner_side.release_counter.store(0, std::memory_order_relaxed);

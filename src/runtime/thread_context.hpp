@@ -80,6 +80,12 @@ struct CoordBatchNode {
   CoordBatchNode* next = nullptr;  // mailbox intrusive link
   ThreadId requester = kNoThread;
   std::uint32_t objects = 0;  // batch size (stats / telemetry)
+  // Causal-span id (DESIGN.md §14): stamped by the requester at post time
+  // from its coord_span_counter, echoed by the draining thread's
+  // kCoordBatchDrain event so offline tools can stitch the request→drain
+  // edge. Written before the push (the push's CAS releases it), read by the
+  // drainer before its `consumed` store.
+  std::uint64_t span_id = 0;
   // Owner's post-bump release counter, written before `consumed`; every
   // object in the batch stamps its recorded edge with this one value.
   std::atomic<std::uint64_t> src_release{0};
@@ -168,6 +174,12 @@ class ThreadContext {
   // advances from respond_while_waiting, so a thread stuck *waiting* on a
   // genuinely stalled peer still renews its own lease.
   std::uint64_t heartbeat = 0;
+
+  // Monotonic per-requester span id source for batched coordination
+  // (DESIGN.md §14). Only this thread increments it (requester side), so it
+  // is plain. Span identity offline is (requester tid, span id); scalar
+  // coordination needs no counter — its span identity is (owner, ticket).
+  std::uint64_t coord_span_counter = 0;
 
   // --- shared coordination state (padded; written/read across threads) --------
   // status + response_watermark + release_counter: written by owner, read by

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <map>
 
+#include "analysis/profile/trace_profile.hpp"
 #include "common/json.hpp"
+#include "metadata/state_word.hpp"
 
 namespace ht::telemetry {
 
@@ -16,6 +18,8 @@ const char* event_category(EventKind k) {
   switch (k) {
     case EventKind::kCoordRoundTrip:
     case EventKind::kCoordBatch:
+    case EventKind::kCoordRequest:
+    case EventKind::kCoordBatchDrain:
     case EventKind::kSafePointResponse:
     case EventKind::kPsro:
     case EventKind::kBlockingEnter:
@@ -27,6 +31,7 @@ const char* event_category(EventKind k) {
     case EventKind::kPessWait:
     case EventKind::kPolicyOptToPess:
     case EventKind::kPolicyPessToOpt:
+    case EventKind::kStateTransition:
       return "tracker";
     case EventKind::kRegionRestart:
       return "enforcer";
@@ -103,6 +108,25 @@ void append_args(std::string& out, const Event& e) {
       out += "\"objects\":" + json::number(static_cast<double>(e.arg0));
       out += ",\"owner_tid\":" + json::number(e.arg1);
       out += ",\"implicit\":" + std::string(e.arg2 != 0 ? "true" : "false");
+      break;
+    case EventKind::kCoordRequest:
+      out += "\"span\":" + json::number(static_cast<double>(e.arg0));
+      out += ",\"owner_tid\":" + json::number(e.arg1);
+      out += ",\"batched\":" + std::string(e.arg2 != 0 ? "true" : "false");
+      break;
+    case EventKind::kCoordBatchDrain:
+      out += "\"span\":" + json::number(static_cast<double>(e.arg0));
+      out += ",\"requester_tid\":" + json::number(e.arg1);
+      out += ",\"objects\":" + json::number(e.arg2);
+      break;
+    case EventKind::kStateTransition:
+      out += "\"from\":\"";
+      out += state_kind_name(
+          static_cast<StateKind>(transition_from_kind(e.arg0)));
+      out += "\",\"to\":\"";
+      out += state_kind_name(
+          static_cast<StateKind>(transition_to_kind(e.arg0)));
+      out += "\",\"object\":" + json::number(e.arg1);
       break;
     default:
       out += "\"arg0\":" + json::number(static_cast<double>(e.arg0));
@@ -225,12 +249,47 @@ std::vector<HotObject> hot_objects(const TraceSnapshot& snap,
       }
     }
   }
+
+  // Dwell residency needs the merged (cross-thread) transition order: the
+  // thread that moved an object *out* of a state is rarely the one that
+  // moved it in. Objects that only ever transitioned (no conflicts) still
+  // get rows — they sort after the conflicted ones.
+  {
+    using analysis::profile::residency_of_kind;
+    struct OpenState {
+      std::uint64_t tsc = 0;
+      std::size_t cls = 0;
+    };
+    std::map<std::uint32_t, OpenState> open;
+    std::uint64_t max_tsc = 0;
+    for (const Event& e : snap.merged()) {
+      max_tsc = e.tsc;
+      if (static_cast<EventKind>(e.kind) != EventKind::kStateTransition) {
+        continue;
+      }
+      HotObject& h = by_object[e.arg1];
+      h.object = e.arg1;
+      ++h.transitions;
+      auto it = open.find(e.arg1);
+      if (it != open.end() && e.tsc > it->second.tsc) {
+        h.dwell[it->second.cls] += e.tsc - it->second.tsc;
+      }
+      open[e.arg1] = OpenState{
+          e.tsc, static_cast<std::size_t>(
+                     residency_of_kind(transition_to_kind(e.arg0)))};
+    }
+    for (const auto& [obj, os] : open) {
+      if (max_tsc > os.tsc) by_object[obj].dwell[os.cls] += max_tsc - os.tsc;
+    }
+  }
+
   std::vector<HotObject> ranked;
   ranked.reserve(by_object.size());
   for (const auto& [obj, h] : by_object) ranked.push_back(h);
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const HotObject& a, const HotObject& b) {
-                     return a.total() > b.total();
+                     if (a.total() != b.total()) return a.total() > b.total();
+                     return a.dwell_total() > b.dwell_total();
                    });
   if (ranked.size() > top_n) ranked.resize(top_n);
   return ranked;
@@ -239,17 +298,35 @@ std::vector<HotObject> hot_objects(const TraceSnapshot& snap,
 std::string hot_object_report(const TraceSnapshot& snap, std::size_t top_n) {
   const std::vector<HotObject> ranked = hot_objects(snap, top_n);
   std::string out;
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "%-4s %-8s %12s %12s %12s\n", "#", "object",
-                "conflicts", "pess-cont", "total");
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%-4s %-8s %12s %12s %12s %8s %-10s\n", "#",
+                "object", "conflicts", "pess-cont", "total", "trans",
+                "dwell-top");
   out += buf;
   std::size_t rank = 1;
   for (const HotObject& h : ranked) {
-    std::snprintf(buf, sizeof buf, "%-4zu %08x %12llu %12llu %12llu\n", rank++,
-                  h.object,
-                  static_cast<unsigned long long>(h.opt_conflicts),
+    // Dominant residency class and its share of the object's dwell window.
+    std::size_t top_cls = 0;
+    for (std::size_t c = 1; c < 5; ++c) {
+      if (h.dwell[c] > h.dwell[top_cls]) top_cls = c;
+    }
+    const std::uint64_t dt = h.dwell_total();
+    char dwell_col[32];
+    if (dt == 0) {
+      std::snprintf(dwell_col, sizeof dwell_col, "-");
+    } else {
+      std::snprintf(dwell_col, sizeof dwell_col, "%s %3.0f%%",
+                    analysis::profile::residency_name(
+                        static_cast<analysis::profile::Residency>(top_cls)),
+                    100.0 * static_cast<double>(h.dwell[top_cls]) /
+                        static_cast<double>(dt));
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%-4zu %08x %12llu %12llu %12llu %8llu %-10s\n", rank++,
+                  h.object, static_cast<unsigned long long>(h.opt_conflicts),
                   static_cast<unsigned long long>(h.pess_contended),
-                  static_cast<unsigned long long>(h.total()));
+                  static_cast<unsigned long long>(h.total()),
+                  static_cast<unsigned long long>(h.transitions), dwell_col);
     out += buf;
   }
   if (ranked.empty()) out += "(no conflicting-transition events in trace)\n";

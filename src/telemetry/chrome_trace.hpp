@@ -29,12 +29,23 @@ bool validate_chrome_trace(const std::string& text, std::size_t* event_count,
 // Per-object conflicting-transition ranking (the paper's Fig 6 is the same
 // census as a cumulative distribution; this is its top-N view). Conflicts =
 // optimistic conflicting transitions + contended pessimistic acquisitions +
-// pessimistic waits observed against the object.
+// pessimistic waits observed against the object. When the trace carries
+// kStateTransition dwell edges, each row also reports how the object's
+// cycles were split across the residency classes
+// (analysis/profile/trace_profile.hpp Residency order:
+// WrEx, RdEx, RdSh, Pess, Int).
 struct HotObject {
   std::uint32_t object = 0;
   std::uint64_t opt_conflicts = 0;
   std::uint64_t pess_contended = 0;
+  std::uint64_t transitions = 0;  // kStateTransition events for this object
+  std::uint64_t dwell[5] = {};    // cycles per residency class
   std::uint64_t total() const { return opt_conflicts + pess_contended; }
+  std::uint64_t dwell_total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t d : dwell) n += d;
+    return n;
+  }
 };
 
 std::vector<HotObject> hot_objects(const TraceSnapshot& snap, std::size_t top_n);

@@ -23,7 +23,8 @@ enum class EventKind : std::uint16_t {
   kBlockingExit,
 
   // Trackers (src/tracking/).
-  kDeferredFlush,  // arg0 = lock-buffer entries unlocked by this flush
+  kDeferredFlush,  // arg0 = lock-buffer entries unlocked by this flush,
+                   // arg1 = cycles the flush loop took (low 32 bits)
   kOptConflict,    // arg1 = object id, arg2 = flag bits (kFlag*)
   kPessAcquire,    // arg1 = object id, arg2 = flag bits (kFlag*)
   kPessWait,       // arg0 = wait cycles until acquisition, arg1 = object id
@@ -51,6 +52,29 @@ enum class EventKind : std::uint16_t {
   // coordinate_batch, alongside that round's kCoordRoundTrip.
   kCoordBatch,  // arg0 = objects covered by the batch, arg1 = owner tid,
                 // arg2 = 1 if resolved implicitly (owner blocked)
+
+  // Causal spans (DESIGN.md §14). kCoordRequest opens a cross-thread span on
+  // the requester's ring at ticket acquisition (scalar) or mailbox post
+  // (batch); the matching close is the requester's own kCoordRoundTrip. The
+  // owner half is stitched offline: scalar spans join against the response
+  // event whose watermark range (arg2, arg1] covers the ticket; batch spans
+  // join kCoordBatchDrain by span id. Response-flavored events
+  // (kSafePointResponse, kPsro, kBlockingEnter, kThreadExit) carry
+  // arg1 = response watermark after the publish (low 32 bits) and
+  // arg2 = watermark before it, so each answered ticket maps to exactly one
+  // owner-side event.
+  kCoordRequest,     // arg0 = ticket (scalar) or span id (batch),
+                     // arg1 = owner tid, arg2 = 1 if batched
+  kCoordBatchDrain,  // arg0 = span id, arg1 = requester tid,
+                     // arg2 = objects covered; recorded on the ring of the
+                     // thread that drained (owner, or a quarantiner)
+
+  // Per-object state-dwell accounting (DESIGN.md §14): one event per
+  // state-kind change, emitted by whichever thread's CAS (or exclusive
+  // store) landed the transition. Residency is the tsc gap between
+  // consecutive transitions of the same object id.
+  kStateTransition,  // arg0 = pack_transition(from kind, to kind),
+                     // arg1 = object id
 };
 
 // arg2 flag bits for kOptConflict / kPessAcquire.
@@ -94,8 +118,25 @@ inline const char* event_kind_name(EventKind k) {
     case EventKind::kSeizure: return "seizure";
     case EventKind::kGovernorFlip: return "governor_flip";
     case EventKind::kCoordBatch: return "coord_batch";
+    case EventKind::kCoordRequest: return "coord_request";
+    case EventKind::kCoordBatchDrain: return "coord_batch_drain";
+    case EventKind::kStateTransition: return "state_transition";
   }
   return "unknown";
+}
+
+// arg0 codec for kStateTransition: the from/to StateWord kinds (see
+// metadata/state_word.hpp Kind, a small enum) packed into one byte each.
+inline constexpr std::uint64_t pack_transition(unsigned from_kind,
+                                               unsigned to_kind) {
+  return (static_cast<std::uint64_t>(to_kind) << 8) |
+         (from_kind & 0xffu);
+}
+inline constexpr unsigned transition_from_kind(std::uint64_t arg0) {
+  return static_cast<unsigned>(arg0 & 0xffu);
+}
+inline constexpr unsigned transition_to_kind(std::uint64_t arg0) {
+  return static_cast<unsigned>((arg0 >> 8) & 0xffu);
 }
 
 // True for kinds whose arg0 is a duration in cycles ending at `tsc` (rendered

@@ -1,5 +1,8 @@
 #include "telemetry/metrics.hpp"
 
+#include <map>
+
+#include "analysis/profile/trace_profile.hpp"
 #include "common/json.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -42,6 +45,11 @@ std::uint64_t bucket_le(std::size_t i) {
   return (std::uint64_t{1} << i) - 1;
 }
 
+// Exact integer rendering for counter/bucket values. json::number goes
+// through double and would round values at and above 2^53 (and print large
+// ones in scientific notation, which Prometheus `le` labels must not be).
+std::string u64s(std::uint64_t v) { return std::to_string(v); }
+
 }  // namespace
 
 std::string MetricsRegistry::to_json() const {
@@ -53,7 +61,7 @@ std::string MetricsRegistry::to_json() const {
     out.push_back('"');
     out += json::escape(c.name);
     out += "\":";
-    out += json::number(static_cast<double>(c.value));
+    out += u64s(c.value);
   }
   out += "},\"histograms\":{";
   first = true;
@@ -63,11 +71,11 @@ std::string MetricsRegistry::to_json() const {
     out.push_back('"');
     out += json::escape(h.name);
     out += "\":{\"count\":";
-    out += json::number(static_cast<double>(h.hist.count()));
+    out += u64s(h.hist.count());
     out += ",\"sum\":";
-    out += json::number(static_cast<double>(h.hist.sum()));
+    out += u64s(h.hist.sum());
     out += ",\"max\":";
-    out += json::number(static_cast<double>(h.hist.max()));
+    out += u64s(h.hist.max());
     out += ",\"buckets\":[";
     const auto& b = h.hist.buckets();
     const std::size_t last = last_nonempty_bucket(b);
@@ -76,9 +84,9 @@ std::string MetricsRegistry::to_json() const {
       cum += b.bucket(i);
       if (i != 0) out.push_back(',');
       out += "{\"le\":";
-      out += json::number(static_cast<double>(bucket_le(i)));
+      out += u64s(bucket_le(i));
       out += ",\"count\":";
-      out += json::number(static_cast<double>(cum));
+      out += u64s(cum);
       out.push_back('}');
     }
     out += "]}";
@@ -88,31 +96,32 @@ std::string MetricsRegistry::to_json() const {
 }
 
 std::string MetricsRegistry::to_prometheus() const {
+  // HELP and TYPE are emitted for every metric (scrapers treat a TYPE
+  // without HELP as an incomplete family); a metric registered without help
+  // text gets a bare "# HELP <name>" line.
+  auto help_line = [](std::string& out, const std::string& name,
+                      const std::string& help) {
+    out += "# HELP ";
+    out += name;
+    if (!help.empty()) {
+      out.push_back(' ');
+      out += help;
+    }
+    out.push_back('\n');
+  };
   std::string out;
   for (const auto& c : counters_) {
-    if (!c.help.empty()) {
-      out += "# HELP ";
-      out += c.name;
-      out.push_back(' ');
-      out += c.help;
-      out.push_back('\n');
-    }
+    help_line(out, c.name, c.help);
     out += "# TYPE ";
     out += c.name;
     out += " counter\n";
     out += c.name;
     out.push_back(' ');
-    out += json::number(static_cast<double>(c.value));
+    out += u64s(c.value);
     out.push_back('\n');
   }
   for (const auto& h : histograms_) {
-    if (!h.help.empty()) {
-      out += "# HELP ";
-      out += h.name;
-      out.push_back(' ');
-      out += h.help;
-      out.push_back('\n');
-    }
+    help_line(out, h.name, h.help);
     out += "# TYPE ";
     out += h.name;
     out += " histogram\n";
@@ -123,22 +132,22 @@ std::string MetricsRegistry::to_prometheus() const {
       cum += b.bucket(i);
       out += h.name;
       out += "_bucket{le=\"";
-      out += json::number(static_cast<double>(bucket_le(i)));
+      out += u64s(bucket_le(i));
       out += "\"} ";
-      out += json::number(static_cast<double>(cum));
+      out += u64s(cum);
       out.push_back('\n');
     }
     out += h.name;
     out += "_bucket{le=\"+Inf\"} ";
-    out += json::number(static_cast<double>(h.hist.count()));
+    out += u64s(h.hist.count());
     out.push_back('\n');
     out += h.name;
     out += "_sum ";
-    out += json::number(static_cast<double>(h.hist.sum()));
+    out += u64s(h.hist.sum());
     out.push_back('\n');
     out += h.name;
     out += "_count ";
-    out += json::number(static_cast<double>(h.hist.count()));
+    out += u64s(h.hist.count());
     out.push_back('\n');
   }
   return out;
@@ -186,6 +195,12 @@ MetricsRegistry aggregate_metrics(const TraceSnapshot& snap) {
   auto& coord_batch_objects =
       reg.counter("ht_coord_batch_objects_total",
                   "objects covered by batched coordination rounds");
+  auto& coord_requests = reg.counter(
+      "ht_coord_requests_total", "coordination requests (span opens)");
+  auto& batch_drains = reg.counter("ht_coord_batch_drains_total",
+                                   "batched mailbox nodes drained");
+  auto& transitions = reg.counter("ht_state_transitions_total",
+                                  "state-kind changes (dwell edges)");
   auto& coord_hist = reg.histogram("ht_coord_roundtrip_cycles",
                                    "coordination round-trip latency (cycles)");
   auto& batch_hist = reg.histogram("ht_coord_batch_objects",
@@ -259,10 +274,67 @@ MetricsRegistry aggregate_metrics(const TraceSnapshot& snap) {
           coord_batch_objects += e.arg0;
           batch_hist.add(e.arg0);
           break;
+        case EventKind::kCoordRequest:
+          ++coord_requests;
+          break;
+        case EventKind::kCoordBatchDrain:
+          ++batch_drains;
+          break;
+        case EventKind::kStateTransition:
+          ++transitions;
+          break;
         default:
           break;
       }
     }
+  }
+
+  // Per-class state-dwell residency (DESIGN.md §14). Residency is a
+  // merged-order property — an object's dwell interval spans transitions
+  // recorded by different threads — so it cannot be folded into the
+  // per-thread loop above.
+  using analysis::profile::Residency;
+  using analysis::profile::kResidencyCount;
+  using analysis::profile::residency_of_kind;
+  using analysis::profile::residency_name;
+  std::uint64_t dwell_cycles[kResidencyCount] = {};
+  {
+    struct OpenState {
+      std::uint64_t tsc = 0;
+      Residency cls = Residency::kWrEx;
+    };
+    std::map<std::uint32_t, OpenState> open;
+    std::uint64_t max_tsc = 0;
+    for (const Event& e : snap.merged()) {
+      max_tsc = e.tsc;
+      if (static_cast<EventKind>(e.kind) != EventKind::kStateTransition) {
+        continue;
+      }
+      auto it = open.find(e.arg1);
+      if (it != open.end() && e.tsc > it->second.tsc) {
+        dwell_cycles[static_cast<std::size_t>(it->second.cls)] +=
+            e.tsc - it->second.tsc;
+      }
+      open[e.arg1] =
+          OpenState{e.tsc, residency_of_kind(transition_to_kind(e.arg0))};
+    }
+    for (const auto& [obj, os] : open) {
+      (void)obj;
+      if (max_tsc > os.tsc) {
+        dwell_cycles[static_cast<std::size_t>(os.cls)] += max_tsc - os.tsc;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < kResidencyCount; ++c) {
+    std::string name = "ht_dwell_";
+    for (const char* p = residency_name(static_cast<Residency>(c)); *p != 0;
+         ++p) {
+      name += static_cast<char>(
+          *p >= 'A' && *p <= 'Z' ? *p - 'A' + 'a' : *p);
+    }
+    name += "_cycles_total";
+    reg.counter(name, "cycles objects dwelt in this state class") =
+        dwell_cycles[c];
   }
   return reg;
 }

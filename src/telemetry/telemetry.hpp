@@ -118,10 +118,22 @@ class TelemetrySession {
 #define HT_TELEM_ELAPSED(ctx, kind, var, a1, a2) \
   HT_TELEM_EVENT(ctx, kind, ::ht::read_cycles() - (var), a1, a2)
 
+// State-dwell edge (DESIGN.md §14): record a kStateTransition when a tracker
+// moves object `mp`'s StateWord from `from` to `to` across a kind boundary.
+// Same-kind updates (reader joins, owner swaps, epoch bumps) keep the object
+// in the same residency class and are deliberately not dwell edges.
+#define HT_TELEM_TRANSITION(ctx, mp, from, to)                             \
+  HT_TELEM_EVENT_IF((from).kind() != (to).kind(), ctx, kStateTransition,   \
+                    ::ht::telemetry::pack_transition(                      \
+                        static_cast<unsigned>((from).kind()),              \
+                        static_cast<unsigned>((to).kind())),               \
+                    ::ht::telemetry::object_id(mp), 0)
+
 #else  // !HT_TELEMETRY_ENABLED
 #define HT_TELEM_AVAILABLE 0
 #define HT_TELEM_EVENT(ctx, kind, a0, a1, a2) ((void)0)
 #define HT_TELEM_EVENT_IF(cond, ctx, kind, a0, a1, a2) ((void)0)
 #define HT_TELEM_CYCLES(var) ((void)0)
 #define HT_TELEM_ELAPSED(ctx, kind, var, a1, a2) ((void)0)
+#define HT_TELEM_TRANSITION(ctx, mp, from, to) ((void)0)
 #endif  // HT_TELEMETRY_ENABLED

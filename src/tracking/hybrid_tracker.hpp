@@ -136,6 +136,7 @@ class HybridTracker {
         scalar[i] = true;  // raced: let the retry loop reclassify
         continue;
       }
+      HT_TELEM_TRANSITION(ctx, &m, s, StateWord::intermediate(ctx.id));
       pend[np++] = BatchConflict{&m, s};
     }
 
@@ -171,9 +172,14 @@ class HybridTracker {
   // Deferred unlocking's buffer flush (Fig 10c); public so tests can force
   // flushes, normally reached via the thread hooks.
   void flush(ThreadContext& ctx) {
-    HT_TELEM_EVENT_IF(!ctx.lock_buffer.empty(), ctx, kDeferredFlush,
-                      ctx.lock_buffer.size(), 0, 0);
+    HT_TELEM_CYCLES(telem_t0);
     for (ObjectMeta* m : ctx.lock_buffer) unlock_one(ctx, *m);
+    // Emitted after the unlock loop so arg1 can carry the cycles the flush
+    // took (the profiler's deferred-flush attribution category); arg0 stays
+    // the entry count, read before the clear.
+    HT_TELEM_EVENT_IF(!ctx.lock_buffer.empty(), ctx, kDeferredFlush,
+                      ctx.lock_buffer.size(), ::ht::read_cycles() - telem_t0,
+                      0);
     ctx.lock_buffer.clear();
     ctx.rd_set.clear();
   }
@@ -217,6 +223,7 @@ class HybridTracker {
                                         : StateWord::wr_ex_pess(ctx.id);
           StateWord expected = s;
           if (!m.cas_state(expected, next)) break;  // seized: reload
+          HT_TELEM_TRANSITION(ctx, &m, s, next);
           HT_CHECK_TRANSITION(
               {.family = analysis::TrackerFamily::kHybrid,
                .actor = ctx.id,
@@ -241,6 +248,7 @@ class HybridTracker {
                                         : StateWord::wr_ex_pess(ctx.id);
           StateWord expected = s;
           if (m.cas_state(expected, next)) {
+            HT_TELEM_TRANSITION(ctx, &m, s, next);
             HT_CHECK_TRANSITION(
                 {.family = analysis::TrackerFamily::kHybrid,
                  .actor = ctx.id,
@@ -267,6 +275,7 @@ class HybridTracker {
                                         : StateWord::rd_ex_pess(ctx.id);
           StateWord expected = s;
           if (m.cas_state(expected, next)) {
+            HT_TELEM_TRANSITION(ctx, &m, s, next);
             HT_CHECK_TRANSITION(
                 {.family = analysis::TrackerFamily::kHybrid,
                  .actor = ctx.id,
@@ -300,6 +309,7 @@ class HybridTracker {
           }
           StateWord expected = s;
           if (m.cas_state(expected, next)) {
+            HT_TELEM_TRANSITION(ctx, &m, s, next);
             HT_CHECK_TRANSITION(
                 {.family = analysis::TrackerFamily::kHybrid,
                  .actor = ctx.id,
@@ -374,6 +384,7 @@ class HybridTracker {
             StateWord expected = s;
             if (m.cas_state(expected, StateWord::wr_ex_opt(ctx.id))) {
               if constexpr (kStats) ++ctx.stats.opt_upgrading;
+              HT_TELEM_TRANSITION(ctx, &m, s, StateWord::wr_ex_opt(ctx.id));
               HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
                                    .actor = ctx.id,
                                    .object = &m,
@@ -413,6 +424,7 @@ class HybridTracker {
           StateWord expected = s;
           if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
             ctx.lock_buffer.push_back(&m);
+            HT_TELEM_TRANSITION(ctx, &m, s, StateWord::wr_ex_wlock(ctx.id));
             finish_pess(ctx, m, confl, /*reentrant=*/false, contended);
             HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
                                  .actor = ctx.id,
@@ -434,6 +446,7 @@ class HybridTracker {
           StateWord expected = s;
           if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
             ctx.lock_buffer.push_back(&m);
+            HT_TELEM_TRANSITION(ctx, &m, s, StateWord::wr_ex_wlock(ctx.id));
             finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
             HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
                                  .actor = ctx.id,
@@ -482,6 +495,7 @@ class HybridTracker {
             StateWord expected = s;
             if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
               // Already in the lock buffer from the read-lock acquisition.
+              HT_TELEM_TRANSITION(ctx, &m, s, StateWord::wr_ex_wlock(ctx.id));
               finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
               HT_CHECK_TRANSITION(
                   {.family = analysis::TrackerFamily::kHybrid,
@@ -515,6 +529,7 @@ class HybridTracker {
             // than deadlocking against our own lock.
             StateWord expected = s;
             if (m.cas_state(expected, StateWord::wr_ex_wlock(ctx.id))) {
+              HT_TELEM_TRANSITION(ctx, &m, s, StateWord::wr_ex_wlock(ctx.id));
               finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
               HT_CHECK_TRANSITION(
                   {.family = analysis::TrackerFamily::kHybrid,
@@ -557,7 +572,10 @@ class HybridTracker {
           if (rt.has_quarantined() && m.load_state().raw() == s.raw()) {
             StateWord expected = s;
             if (m.cas_state(expected, StateWord::intermediate(ctx.id))) {
+              HT_TELEM_TRANSITION(ctx, &m, s, StateWord::intermediate(ctx.id));
               m.store_state(StateWord::rd_sh_pess(s.counter()));
+              HT_TELEM_TRANSITION(ctx, &m, StateWord::intermediate(ctx.id),
+                                  StateWord::rd_sh_pess(s.counter()));
               HT_TELEM_EVENT(ctx, kSeizure, 0, telemetry::object_id(&m),
                              kNoThread);
             }
@@ -615,6 +633,7 @@ class HybridTracker {
             if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
             record_all_edges(ctx);
             if constexpr (kStats) ++ctx.stats.opt_upgrading;
+            HT_TELEM_TRANSITION(ctx, &m, s, StateWord::rd_sh_opt(c));
             HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
                                  .actor = ctx.id,
                                  .object = &m,
@@ -693,6 +712,7 @@ class HybridTracker {
             if (m.cas_state(expected, next)) {
               ctx.lock_buffer.push_back(&m);
               if (read_lock) ctx.rd_set.insert(&m);
+              HT_TELEM_TRANSITION(ctx, &m, s, next);
               finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
               HT_CHECK_TRANSITION(
                   {.family = analysis::TrackerFamily::kHybrid,
@@ -715,6 +735,7 @@ class HybridTracker {
           if (m.cas_state(expected, StateWord::rd_ex_rlock(ctx.id))) {
             ctx.lock_buffer.push_back(&m);
             ctx.rd_set.insert(&m);
+            HT_TELEM_TRANSITION(ctx, &m, s, StateWord::rd_ex_rlock(ctx.id));
             finish_pess(ctx, m, /*confl=*/true, /*reentrant=*/false, contended);
             HT_CHECK_TRANSITION(
                 {.family = analysis::TrackerFamily::kHybrid,
@@ -739,6 +760,7 @@ class HybridTracker {
             if (m.cas_state(expected, StateWord::rd_ex_rlock(ctx.id))) {
               ctx.lock_buffer.push_back(&m);
               ctx.rd_set.insert(&m);
+              HT_TELEM_TRANSITION(ctx, &m, s, StateWord::rd_ex_rlock(ctx.id));
               finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
               HT_CHECK_TRANSITION(
                   {.family = analysis::TrackerFamily::kHybrid,
@@ -763,6 +785,7 @@ class HybridTracker {
             if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
             ctx.lock_buffer.push_back(&m);
             ctx.rd_set.insert(&m);
+            HT_TELEM_TRANSITION(ctx, &m, s, StateWord::rd_sh_rlock(c, 1));
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
             HT_CHECK_TRANSITION(
                 {.family = analysis::TrackerFamily::kHybrid,
@@ -788,6 +811,8 @@ class HybridTracker {
             if (ctx.rd_sh_count < s.counter()) ctx.rd_sh_count = s.counter();
             ctx.lock_buffer.push_back(&m);
             ctx.rd_set.insert(&m);
+            HT_TELEM_TRANSITION(ctx, &m, s,
+                                StateWord::rd_sh_rlock(s.counter(), 1));
             finish_pess(ctx, m, /*confl=*/false, /*reentrant=*/false, contended);
             HT_CHECK_TRANSITION(
                 {.family = analysis::TrackerFamily::kHybrid,
@@ -938,6 +963,8 @@ class HybridTracker {
     if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
     ctx.lock_buffer.push_back(&m);
     ctx.rd_set.insert(&m);
+    HT_TELEM_TRANSITION(ctx, &m, s,
+                        StateWord::rd_sh_rlock(c, initial_holders));
     finish_pess(ctx, m, confl, /*reentrant=*/false, contended);
     HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kHybrid,
                          .actor = ctx.id,
@@ -963,6 +990,7 @@ class HybridTracker {
     Runtime& rt = *runtime_;
     StateWord expected = s;
     if (!m.cas_state(expected, StateWord::intermediate(ctx.id))) return false;
+    HT_TELEM_TRANSITION(ctx, &m, s, StateWord::intermediate(ctx.id));
 
     bool any_explicit = false;
     {
@@ -990,6 +1018,7 @@ class HybridTracker {
     // the seized state must win and we park.
     StateWord intw = StateWord::intermediate(ctx.id);
     if (!m.cas_state(intw, landed)) rt.quarantined_self_park(ctx);
+    HT_TELEM_TRANSITION(ctx, &m, StateWord::intermediate(ctx.id), landed);
     if (went_pess) {
       policy_.note_became_pess(m);
       if (!is_store) ctx.rd_set.insert(&m);
@@ -1084,6 +1113,7 @@ class HybridTracker {
       // the Int after quarantining us; park immediately. Remaining group
       // members stay Int and are reclaimed by the seizure sweep.
       if (!m.cas_state(intw, landed)) rt.quarantined_self_park(ctx);
+      HT_TELEM_TRANSITION(ctx, &m, StateWord::intermediate(ctx.id), landed);
       if (went_pess) {
         policy_.note_became_pess(m);
         ctx.lock_buffer.push_back(&m);

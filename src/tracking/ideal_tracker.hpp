@@ -141,6 +141,7 @@ class IdealTracker {
             ctx.rd_sh_count < next.counter()) {
           ctx.rd_sh_count = next.counter();
         }
+        HT_TELEM_TRANSITION(ctx, &m, s, next);
         HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kIdeal,
                              .actor = ctx.id,
                              .object = &m,

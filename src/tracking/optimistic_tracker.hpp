@@ -101,6 +101,7 @@ class OptimisticTracker {
         scalar[i] = true;
         continue;
       }
+      HT_TELEM_TRANSITION(ctx, &m, s, StateWord::intermediate(ctx.id));
       pend[np++] = BatchConflict{&m, s};
     }
 
@@ -165,6 +166,7 @@ class OptimisticTracker {
         StateWord expected = s;
         if (m.cas_state(expected, StateWord::wr_ex_opt(ctx.id))) {
           if constexpr (kStats) ++ctx.stats.opt_upgrading;
+          HT_TELEM_TRANSITION(ctx, &m, s, StateWord::wr_ex_opt(ctx.id));
           HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                                .actor = ctx.id,
                                .object = &m,
@@ -254,6 +256,7 @@ class OptimisticTracker {
             if (ctx.rd_sh_count < c) ctx.rd_sh_count = c;
             if constexpr (Sink::kActive) sink_->edge_all_others(ctx, rt);
             if constexpr (kStats) ++ctx.stats.opt_upgrading;
+            HT_TELEM_TRANSITION(ctx, &m, s, StateWord::rd_sh_opt(c));
             HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                                  .actor = ctx.id,
                                  .object = &m,
@@ -300,6 +303,7 @@ class OptimisticTracker {
     Runtime& rt = *runtime_;
     StateWord expected = old_state;
     if (!m.cas_state(expected, StateWord::intermediate(ctx.id))) return false;
+    HT_TELEM_TRANSITION(ctx, &m, old_state, StateWord::intermediate(ctx.id));
 
     bool any_explicit = false;
     {
@@ -321,6 +325,7 @@ class OptimisticTracker {
     // quarantined mid-coordination; the seized state wins and we park.
     StateWord intw = StateWord::intermediate(ctx.id);
     if (!m.cas_state(intw, new_state)) rt.quarantined_self_park(ctx);
+    HT_TELEM_TRANSITION(ctx, &m, StateWord::intermediate(ctx.id), new_state);
     HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                          .actor = ctx.id,
                          .object = &m,
@@ -396,6 +401,7 @@ class OptimisticTracker {
       const StateWord landed = StateWord::wr_ex_opt(ctx.id);
       StateWord intw = StateWord::intermediate(ctx.id);
       if (!m.cas_state(intw, landed)) rt.quarantined_self_park(ctx);
+      HT_TELEM_TRANSITION(ctx, &m, StateWord::intermediate(ctx.id), landed);
       HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                            .actor = ctx.id,
                            .object = &m,

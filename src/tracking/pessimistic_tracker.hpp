@@ -61,6 +61,8 @@ class PessimisticTracker {
   void post_store(ThreadContext& ctx, ObjectMeta& m, Token tok) {
     (void)ctx;
     m.store_state(tok.next, std::memory_order_release);
+    HT_TELEM_TRANSITION(ctx, &m, StateWord::pess_locked_sentinel(ctx.id),
+                        tok.next);
   }
 
   Token pre_load(ThreadContext& ctx, ObjectMeta& m) {
@@ -106,6 +108,8 @@ class PessimisticTracker {
   void post_load(ThreadContext& ctx, ObjectMeta& m, Token tok) {
     (void)ctx;
     m.store_state(tok.next, std::memory_order_release);
+    HT_TELEM_TRANSITION(ctx, &m, StateWord::pess_locked_sentinel(ctx.id),
+                        tok.next);
   }
 
   Runtime& runtime() { return *runtime_; }
@@ -121,6 +125,8 @@ class PessimisticTracker {
         StateWord expected = s;
         if (m.cas_state(expected,
                         StateWord::pess_locked_sentinel(ctx.id))) {
+          HT_TELEM_TRANSITION(ctx, &m, s,
+                              StateWord::pess_locked_sentinel(ctx.id));
           return s;
         }
       }
@@ -141,6 +147,8 @@ class PessimisticTracker {
         StateWord expected = s;
         if (m.cas_state(expected,
                         StateWord::pess_locked_sentinel(ctx.id))) {
+          HT_TELEM_TRANSITION(ctx, &m, s,
+                              StateWord::pess_locked_sentinel(ctx.id));
           HT_TELEM_ELAPSED(ctx, kPessWait, telem_t0,
                            telemetry::object_id(&m), 0);
           return s;

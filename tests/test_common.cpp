@@ -11,6 +11,7 @@
 #include "common/spin.hpp"
 #include "common/stats.hpp"
 #include "common/xorshift.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ht {
 namespace {
@@ -153,6 +154,62 @@ TEST(Log2Histogram, WeightsAccumulate) {
   h.add(6, 20);
   EXPECT_EQ(h.total_weight(), 30u);
   EXPECT_EQ(h.cumulative_le(7), 30u);
+}
+
+TEST(Log2Histogram, EmptyHistogramHasNoWeightAnywhere) {
+  const Log2Histogram h;
+  EXPECT_EQ(h.total_weight(), 0u);
+  EXPECT_EQ(h.cumulative_le(0), 0u);
+  EXPECT_EQ(h.cumulative_le(~std::uint64_t{0}), 0u);
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_EQ(h.bucket(i), 0u);
+  }
+}
+
+TEST(Log2Histogram, ZeroValueLandsInBucketZero) {
+  Log2Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.cumulative_le(0), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_floor(1), 1u);
+}
+
+TEST(Log2Histogram, MaxValueClampsToOverflowBucket) {
+  // 64 - clz(UINT64_MAX) = 64, far past the default 40 buckets: the value
+  // must land in the last (overflow) bucket, not index out of range.
+  Log2Histogram h;
+  h.add(~std::uint64_t{0});
+  h.add((std::uint64_t{1} << 40));  // first value past the covered range
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 2u);
+  EXPECT_EQ(h.total_weight(), 2u);
+  EXPECT_EQ(h.cumulative_le(~std::uint64_t{0}), 2u);
+}
+
+// --- LatencyHistogram edge cases ---------------------------------------------
+
+TEST(LatencyHistogram, ZeroSamplesExportEmpty) {
+  const telemetry::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LatencyHistogram, ValueZeroCountsWithoutAffectingSumOrMax) {
+  telemetry::LatencyHistogram h;
+  h.add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.buckets().bucket(0), 1u);
+}
+
+TEST(LatencyHistogram, MaxValueSaturatesOverflowBucketAndMax) {
+  telemetry::LatencyHistogram h;
+  h.add(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_EQ(h.buckets().bucket(h.buckets().bucket_count() - 1), 1u);
 }
 
 // --- Xoshiro ---------------------------------------------------------------------

@@ -1,0 +1,354 @@
+// Critical-path profiler tests (analysis/profile/): span stitching against
+// hand-built traces, the innermost-wins attribution sweep, state-dwell
+// residency folding, and — with telemetry compiled in — agreement between
+// the dwell report and the trackers' own TransitionStats on a deterministic
+// conflict pattern.
+#include "analysis/profile/trace_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/json.hpp"
+#include "telemetry/telemetry.hpp"
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/tracked_var.hpp"
+
+namespace ht::analysis::profile {
+namespace {
+
+using telemetry::Event;
+using telemetry::EventKind;
+using telemetry::ThreadTrace;
+using telemetry::TraceSnapshot;
+
+Event make_event(EventKind kind, std::uint64_t tsc, std::uint64_t arg0 = 0,
+                 std::uint32_t arg1 = 0, std::uint32_t arg2 = 0,
+                 std::uint16_t tid = 0) {
+  Event e;
+  e.tsc = tsc;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.arg2 = arg2;
+  e.kind = static_cast<std::uint16_t>(kind);
+  e.tid = tid;
+  return e;
+}
+
+// --- span stitching ----------------------------------------------------------
+
+TEST(SpanStitching, ScalarTicketJoinsWatermarkRange) {
+  TraceSnapshot snap;
+  ThreadTrace requester;
+  requester.tid = 0;
+  requester.events = {
+      // Ticket 1 against owner 1, answered explicitly.
+      make_event(EventKind::kCoordRequest, 100, /*ticket=*/1, /*owner=*/1, 0,
+                 0),
+      make_event(EventKind::kCoordRoundTrip, 200, /*cycles=*/100, /*owner=*/1,
+                 /*implicit=*/0, 0),
+  };
+  ThreadTrace owner;
+  owner.tid = 1;
+  owner.events = {
+      // Watermark range (0, 1]: answers ticket 1.
+      make_event(EventKind::kSafePointResponse, 150, /*release=*/3,
+                 /*after=*/1, /*before=*/0, 1),
+  };
+  snap.threads = {requester, owner};
+  snap.rebase();
+
+  const ProfileReport r = build_profile(snap);
+  ASSERT_EQ(r.spans.size(), 1u);
+  EXPECT_EQ(r.spans_scalar, 1u);
+  EXPECT_EQ(r.spans_batch, 0u);
+  const Span& sp = r.spans[0];
+  EXPECT_EQ(sp.requester, 0u);
+  EXPECT_EQ(sp.owner, 1u);
+  EXPECT_EQ(sp.span_id, 1u);
+  EXPECT_EQ(sp.request_tsc, 100u);
+  EXPECT_EQ(sp.response_tsc, 150u);
+  EXPECT_EQ(sp.close_tsc, 200u);
+  EXPECT_FALSE(sp.batched);
+  EXPECT_FALSE(sp.implicit);
+  EXPECT_EQ(r.spans_response_matched, 1u);
+  EXPECT_EQ(r.spans_closed, 1u);
+}
+
+TEST(SpanStitching, ScalarTicketOutsideWatermarkRangeStaysUnmatched) {
+  TraceSnapshot snap;
+  ThreadTrace requester;
+  requester.tid = 0;
+  requester.events = {
+      make_event(EventKind::kCoordRequest, 100, /*ticket=*/5, /*owner=*/1, 0,
+                 0),
+      make_event(EventKind::kCoordRoundTrip, 200, 100, 1, /*implicit=*/1, 0),
+  };
+  ThreadTrace owner;
+  owner.tid = 1;
+  owner.events = {
+      // Range (0, 3] does not cover ticket 5 (it was released by a
+      // watermark jump with no ring event, e.g. a quarantine).
+      make_event(EventKind::kPsro, 150, 0, /*after=*/3, /*before=*/0, 1),
+  };
+  snap.threads = {requester, owner};
+  snap.rebase();
+
+  const ProfileReport r = build_profile(snap);
+  ASSERT_EQ(r.spans.size(), 1u);
+  EXPECT_EQ(r.spans[0].response_tsc, 0u);
+  EXPECT_TRUE(r.spans[0].implicit);
+  EXPECT_EQ(r.spans_response_matched, 0u);
+  EXPECT_EQ(r.spans_closed, 1u);
+}
+
+TEST(SpanStitching, BatchSpanJoinsDrainBySpanId) {
+  TraceSnapshot snap;
+  ThreadTrace requester;
+  requester.tid = 2;
+  requester.events = {
+      make_event(EventKind::kCoordRequest, 300, /*span=*/7, /*owner=*/5,
+                 /*batched=*/1, 2),
+      make_event(EventKind::kCoordRoundTrip, 500, 200, 5, 0, 2),
+      // Trailing work after the round trip so the critical path has a
+      // non-degenerate compute hop before it crosses the span.
+      make_event(EventKind::kThreadExit, 600, 0, 0, 0, 2),
+  };
+  ThreadTrace owner;
+  owner.tid = 5;
+  owner.events = {
+      make_event(EventKind::kCoordBatchDrain, 400, /*span=*/7,
+                 /*requester=*/2, /*objects=*/4, 5),
+  };
+  snap.threads = {requester, owner};
+  snap.rebase();
+
+  const ProfileReport r = build_profile(snap);
+  ASSERT_EQ(r.spans.size(), 1u);
+  EXPECT_EQ(r.spans_batch, 1u);
+  EXPECT_TRUE(r.spans[0].batched);
+  EXPECT_EQ(r.spans[0].response_tsc, 400u);
+  EXPECT_EQ(r.spans[0].close_tsc, 500u);
+  EXPECT_EQ(r.spans_response_matched, 1u);
+
+  // The critical path crosses into the owner through the stitched span:
+  // compute on T2 after the close, the wait hop, then compute on T5.
+  ASSERT_GE(r.critical_path.size(), 2u);
+  EXPECT_EQ(r.critical_path[0].tid, 2u);
+  EXPECT_EQ(r.critical_path[0].category, Category::kAppCompute);
+  EXPECT_EQ(r.critical_path[1].category, Category::kCoordWait);
+  EXPECT_EQ(r.critical_path[1].via, 5u);
+}
+
+// --- attribution -------------------------------------------------------------
+
+TEST(Attribution, ResidualIsAppComputeAndSumsToWindow) {
+  TraceSnapshot snap;
+  ThreadTrace t;
+  t.tid = 0;
+  t.events = {
+      make_event(EventKind::kThreadStart, 0),
+      // Pessimistic wait [300, 500].
+      make_event(EventKind::kPessWait, 500, /*cycles=*/200, /*object=*/9),
+      // Coordination wait [700, 800].
+      make_event(EventKind::kCoordRoundTrip, 800, /*cycles=*/100, 1, 0),
+      make_event(EventKind::kThreadExit, 1000),
+  };
+  snap.threads.push_back(t);
+  snap.rebase();
+
+  const ProfileReport r = build_profile(snap);
+  EXPECT_EQ(r.total_cycles, 1000u);
+  EXPECT_EQ(r.category_cycles[static_cast<int>(Category::kPessLockWait)],
+            200u);
+  EXPECT_EQ(r.category_cycles[static_cast<int>(Category::kCoordWait)], 100u);
+  EXPECT_EQ(r.category_cycles[static_cast<int>(Category::kAppCompute)], 700u);
+  EXPECT_EQ(r.attribution_error(), 0.0);
+
+  const std::string json = profile_to_json(r);
+  json::Value parsed;
+  ASSERT_TRUE(json::parse(json, parsed));
+  EXPECT_EQ(parsed.at("attribution")
+                .at("categories")
+                .at("app_compute")
+                .at("cycles")
+                .as_u64(),
+            700u);
+}
+
+TEST(Attribution, InnermostIntervalWinsUnderNesting) {
+  TraceSnapshot snap;
+  ThreadTrace t;
+  t.tid = 0;
+  t.events = {
+      make_event(EventKind::kThreadStart, 0),
+      // Coordination wait [700, 800], performed inside the region attempt.
+      make_event(EventKind::kCoordRoundTrip, 800, 100, 1, 0),
+      // Aborted region attempt burned [600, 900].
+      make_event(EventKind::kRegionRestart, 900, /*cycles=*/300,
+                 /*attempt=*/0),
+      make_event(EventKind::kThreadExit, 1000),
+  };
+  snap.threads.push_back(t);
+  snap.rebase();
+
+  const ProfileReport r = build_profile(snap);
+  // The nested coordination keeps its 100 cycles; the restart is charged
+  // only the remainder of its own interval.
+  EXPECT_EQ(r.category_cycles[static_cast<int>(Category::kCoordWait)], 100u);
+  EXPECT_EQ(r.category_cycles[static_cast<int>(Category::kRegionRestart)],
+            200u);
+  EXPECT_EQ(r.category_cycles[static_cast<int>(Category::kAppCompute)], 700u);
+  EXPECT_EQ(r.attribution_error(), 0.0);
+
+  const std::string folded = profile_to_collapsed(r);
+  EXPECT_NE(folded.find("T0;coord_wait 100\n"), std::string::npos);
+  EXPECT_NE(folded.find("T0;region_restart 200\n"), std::string::npos);
+  EXPECT_NE(folded.find("T0;app_compute 700\n"), std::string::npos);
+}
+
+// --- state dwell -------------------------------------------------------------
+
+TEST(StateDwell, ResidencyAccruesBetweenTransitions) {
+  using telemetry::pack_transition;
+  const auto wr_ex = static_cast<unsigned>(StateKind::kWrExOpt);
+  const auto inter = static_cast<unsigned>(StateKind::kInt);
+  const auto rd_sh = static_cast<unsigned>(StateKind::kRdShOpt);
+
+  TraceSnapshot snap;
+  ThreadTrace t;
+  t.tid = 0;
+  t.events = {
+      make_event(EventKind::kStateTransition, 100,
+                 pack_transition(wr_ex, inter), /*object=*/42),
+      make_event(EventKind::kStateTransition, 300,
+                 pack_transition(inter, rd_sh), 42),
+      make_event(EventKind::kThreadExit, 500),
+  };
+  snap.threads.push_back(t);
+  snap.rebase();
+
+  const ProfileReport r = build_profile(snap);
+  EXPECT_EQ(r.transitions_total, 2u);
+  EXPECT_EQ(r.dwell_entries[static_cast<int>(Residency::kInt)], 1u);
+  EXPECT_EQ(r.dwell_entries[static_cast<int>(Residency::kRdSh)], 1u);
+  ASSERT_EQ(r.dwell.size(), 1u);
+  const ObjectDwell& d = r.dwell[0];
+  EXPECT_EQ(d.object, 42u);
+  EXPECT_EQ(d.transitions, 2u);
+  // Int from 100 to 300, then RdSh from 300 to the end of the trace (500).
+  EXPECT_EQ(d.residency[static_cast<int>(Residency::kInt)], 200u);
+  EXPECT_EQ(d.residency[static_cast<int>(Residency::kRdSh)], 200u);
+  EXPECT_EQ(d.residency[static_cast<int>(Residency::kWrEx)], 0u);
+  EXPECT_EQ(r.dwell_cycles[static_cast<int>(Residency::kInt)], 200u);
+}
+
+TEST(StateDwell, ResidencyClassesFoldAllPessimisticKinds) {
+  EXPECT_EQ(residency_of_kind(static_cast<unsigned>(StateKind::kWrExOpt)),
+            Residency::kWrEx);
+  EXPECT_EQ(residency_of_kind(static_cast<unsigned>(StateKind::kRdExOpt)),
+            Residency::kRdEx);
+  EXPECT_EQ(residency_of_kind(static_cast<unsigned>(StateKind::kRdShOpt)),
+            Residency::kRdSh);
+  EXPECT_EQ(residency_of_kind(static_cast<unsigned>(StateKind::kInt)),
+            Residency::kInt);
+  for (auto k : {StateKind::kWrExPess, StateKind::kRdExPess,
+                 StateKind::kRdShPess, StateKind::kWrExWLock,
+                 StateKind::kWrExRLock, StateKind::kRdExRLock,
+                 StateKind::kRdShRLock, StateKind::kPessLockedSentinel}) {
+    EXPECT_EQ(residency_of_kind(static_cast<unsigned>(k)), Residency::kPess);
+  }
+}
+
+// --- agreement with the trackers (telemetry builds only) ---------------------
+
+#if HT_TELEM_AVAILABLE
+// A deterministic implicit-conflict ping-pong: every hybrid conflicting
+// transition passes through Int exactly once, so the profiler's count of
+// transitions *into* Int must equal the trackers' own conflicting-transition
+// statistics — the dwell report and TransitionStats describe one reality.
+TEST(ProfilerAgreement, IntEntriesMatchConflictingTransitionStats) {
+  telemetry::TelemetrySession session;
+  RuntimeConfig rc;
+  rc.telemetry = &session;
+  Runtime rt(rc);
+  HybridTracker</*kStats=*/true> trk(rt, HybridConfig{});
+  ThreadContext& t0 = rt.register_thread();
+  ThreadContext& t1 = rt.register_thread();
+  trk.attach_thread(t0);
+  trk.attach_thread(t1);
+  TrackedVar<std::uint64_t> var;
+  var.init(trk, t0, 1);
+
+  constexpr int kRounds = 10;
+  for (int i = 0; i < kRounds; ++i) {
+    rt.begin_blocking(t0);
+    var.store(trk, t1, static_cast<std::uint64_t>(i));  // implicit conflict
+    rt.end_blocking(t0);
+    rt.begin_blocking(t1);
+    var.store(trk, t0, static_cast<std::uint64_t>(i));  // implicit conflict
+    rt.end_blocking(t1);
+  }
+
+  const telemetry::TraceSnapshot snap = session.drain();
+  ASSERT_EQ(snap.total_dropped(), 0u);
+  const ProfileReport r = build_profile(snap);
+  const std::uint64_t conflicts =
+      t0.stats.opt_conflicting() + t1.stats.opt_conflicting();
+  EXPECT_EQ(conflicts, 2u * kRounds);
+  EXPECT_EQ(r.dwell_entries[static_cast<int>(Residency::kInt)], conflicts);
+  // Every category is attributed: the residual construction keeps the sum
+  // exact, which is what the CLI's tolerance check (exit code 6) guards.
+  EXPECT_LE(r.attribution_error(), 0.05);
+}
+
+// An explicit round trip (owner polling at safe points) produces a
+// stitchable request -> response -> close chain on real rings.
+TEST(ProfilerAgreement, ExplicitCoordinationProducesStitchedSpan) {
+  telemetry::TelemetrySession session;
+  RuntimeConfig rc;
+  rc.telemetry = &session;
+  Runtime rt(rc);
+  HybridTracker</*kStats=*/true> trk(rt, HybridConfig{});
+  ThreadContext& t0 = rt.register_thread();
+  ThreadContext& t1 = rt.register_thread();
+  trk.attach_thread(t0);
+  trk.attach_thread(t1);
+  TrackedVar<std::uint64_t> var;
+  var.init(trk, t0, 1);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    var.store(trk, t1, 9);  // explicit conflict with running t0
+    done.store(true);
+  });
+  while (!done.load()) {
+    rt.poll(t0);
+    std::this_thread::yield();
+  }
+  writer.join();
+  trk.flush(t1);
+
+  const telemetry::TraceSnapshot snap = session.drain();
+  ASSERT_EQ(snap.total_dropped(), 0u);
+  const ProfileReport r = build_profile(snap);
+  ASSERT_GE(r.spans_scalar, 1u);
+  EXPECT_GE(r.spans_closed, 1u);
+  EXPECT_GE(r.spans_response_matched, 1u);
+  bool found = false;
+  for (const Span& sp : r.spans) {
+    if (sp.batched || sp.response_tsc == 0) continue;
+    found = true;
+    EXPECT_EQ(sp.requester, t1.id);
+    EXPECT_EQ(sp.owner, t0.id);
+    EXPECT_GE(sp.response_tsc, sp.request_tsc);
+    EXPECT_GE(sp.close_tsc, sp.response_tsc);
+  }
+  EXPECT_TRUE(found);
+}
+#endif  // HT_TELEM_AVAILABLE
+
+}  // namespace
+}  // namespace ht::analysis::profile

@@ -413,6 +413,40 @@ TEST(Metrics, AggregateFoldsEventsIntoCountersAndHistograms) {
   EXPECT_EQ(reg.histogram("ht_seizure_cycles").max(), 500u);
 }
 
+TEST(Metrics, AggregateCountsSpansAndDwellCycles) {
+  TraceSnapshot snap;
+  ThreadTrace t;
+  t.tid = 0;
+  const auto wrex = static_cast<std::uint8_t>(StateKind::kWrExOpt);
+  const auto intk = static_cast<std::uint8_t>(StateKind::kInt);
+  const auto rdsh = static_cast<std::uint8_t>(StateKind::kRdShOpt);
+  t.events = {
+      make_event(EventKind::kCoordRequest, 10, 1, 1, 0),
+      make_event(EventKind::kCoordBatchDrain, 20, 7, 2, 4),
+      // The dwell clock starts at an object's FIRST transition (when it
+      // entered WrEx is unknowable from this trace), so WrEx accrues
+      // nothing: object 42 dwells 200 cycles in Int, and the open RdSh
+      // interval extends to the last trace timestamp (400).
+      make_event(EventKind::kStateTransition, 100,
+                 pack_transition(wrex, intk), 42),
+      make_event(EventKind::kStateTransition, 300,
+                 pack_transition(intk, rdsh), 42),
+      make_event(EventKind::kThreadExit, 400, 0, 0, 0),
+  };
+  snap.threads.push_back(std::move(t));
+  snap.rebase();
+
+  MetricsRegistry reg = aggregate_metrics(snap);
+  EXPECT_EQ(reg.counter("ht_coord_requests_total"), 1u);
+  EXPECT_EQ(reg.counter("ht_coord_batch_drains_total"), 1u);
+  EXPECT_EQ(reg.counter("ht_state_transitions_total"), 2u);
+  EXPECT_EQ(reg.counter("ht_dwell_wrex_cycles_total"), 0u);
+  EXPECT_EQ(reg.counter("ht_dwell_int_cycles_total"), 200u);
+  EXPECT_EQ(reg.counter("ht_dwell_rdsh_cycles_total"), 100u);
+  EXPECT_EQ(reg.counter("ht_dwell_rdex_cycles_total"), 0u);
+  EXPECT_EQ(reg.counter("ht_dwell_pess_cycles_total"), 0u);
+}
+
 // --- exporter golden strings -------------------------------------------------
 
 MetricsRegistry demo_registry() {

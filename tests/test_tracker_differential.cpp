@@ -271,9 +271,10 @@ INSTANTIATE_TEST_SUITE_P(
                       DifferentialShard{64, 32}, DifferentialShard{96, 32},
                       DifferentialShard{128, 32}, DifferentialShard{160, 32},
                       DifferentialShard{192, 32}, DifferentialShard{224, 32}),
-    [](const ::testing::TestParamInfo<DifferentialShard>& info) {
-      return "s" + std::to_string(info.param.first_seed) + "_" +
-             std::to_string(info.param.first_seed + info.param.n_seeds - 1);
+    [](const ::testing::TestParamInfo<DifferentialShard>& shard_info) {
+      return "s" + std::to_string(shard_info.param.first_seed) + "_" +
+             std::to_string(shard_info.param.first_seed +
+                            shard_info.param.n_seeds - 1);
     });
 
 }  // namespace

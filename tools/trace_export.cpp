@@ -8,10 +8,16 @@
 //   build/tools/trace_export <trace.bin> --check         # validate only
 //   build/tools/trace_export <trace.bin> --top 10        # hot-object report
 //   build/tools/trace_export <trace.bin> --metrics prom  # metrics export
+//   build/tools/trace_export <trace.bin> --check --strict # fail on drops
+//
+// A trace with ring-overwrite drops is incomplete evidence: --check and the
+// summary warn about it on stderr, and --strict turns the warning into exit
+// code 6 so CI can refuse to gate on a lossy trace.
 //
 // Exit codes: 0 OK, 2 usage, 3 trace load failure (the load reason is
 // printed, e.g. "bad-magic"), 4 generated JSON failed validation (a bug in
-// the exporter, never silent), 5 output I/O error.
+// the exporter, never silent), 5 output I/O error, 6 dropped events with
+// --strict.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,7 +32,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: trace_export <trace.bin> [--out <file.json>] [--check]"
-               " [--top <n>] [--metrics json|prom]\n");
+               " [--strict] [--top <n>] [--metrics json|prom]\n");
   return 2;
 }
 
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string metrics_format;
   bool check = false;
+  bool strict = false;
   long top_n = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -54,6 +61,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = std::atol(argv[++i]);
       if (top_n <= 0) return usage();
@@ -79,6 +88,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace_export: %s: %s\n", in_path.c_str(),
                  ht::telemetry::trace_load_result_name(lr));
     return 3;
+  }
+
+  const std::uint64_t dropped = snap.total_dropped();
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "trace_export: warning: %llu events lost to ring overwrite"
+                 " (oldest first); the trace is incomplete%s\n",
+                 static_cast<unsigned long long>(dropped),
+                 strict ? "" : " (use --strict to fail on this)");
   }
 
   const std::string json = ht::telemetry::to_chrome_trace_json(snap);
@@ -124,5 +142,6 @@ int main(int argc, char** argv) {
     std::fputs(json.c_str(), stdout);
     std::fputc('\n', stdout);
   }
+  if (strict && dropped > 0) return 6;
   return 0;
 }

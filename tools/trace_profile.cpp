@@ -1,0 +1,127 @@
+// trace_profile: the "where do the cycles go" report over a drained
+// telemetry trace ("HTEL" file, written by tools/workload_run --trace).
+// Stitches cross-thread coordination spans, attributes each thread's window
+// across wait categories, folds per-object state dwell, and walks the
+// cross-thread critical path (src/analysis/profile/).
+//
+//   build/tools/trace_profile <trace.bin>                     # human report
+//   build/tools/trace_profile <trace.bin> --attribution       # same, explicit
+//   build/tools/trace_profile <trace.bin> --json out.json     # JSON report
+//   build/tools/trace_profile <trace.bin> --collapsed out.folded
+//       # folded stacks; flamegraph.pl out.folded > profile.svg
+//   build/tools/trace_profile <trace.bin> --tolerance 5
+//       # fail if attribution misses >5% of the window
+//
+// "-" as a --json/--collapsed path writes to stdout. The attribution
+// invariant (categories sum to the thread windows) is always checked.
+//
+// Exit codes: 0 OK, 2 usage, 3 trace load failure (reason printed),
+// 5 output I/O error, 6 attribution error above tolerance.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/profile/trace_profile.hpp"
+#include "telemetry/trace_io.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_profile <trace.bin> [--attribution]"
+               " [--json <file|->] [--collapsed <file|->]"
+               " [--tolerance <percent>]\n");
+  return 2;
+}
+
+bool write_output(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  std::string json_path;
+  std::string collapsed_path;
+  bool attribution = false;
+  double tolerance_pct = 5.0;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--collapsed") == 0 && i + 1 < argc) {
+      collapsed_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--attribution") == 0) {
+      attribution = true;
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance_pct = std::atof(argv[++i]);
+      if (tolerance_pct < 0) return usage();
+    } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+      std::fprintf(stderr, "trace_profile: unknown option '%s'\n", argv[i]);
+      return usage();
+    } else if (in_path.empty()) {
+      in_path = argv[i];
+    } else {
+      std::fprintf(stderr, "trace_profile: more than one input file\n");
+      return usage();
+    }
+  }
+  if (in_path.empty()) return usage();
+
+  ht::telemetry::TraceSnapshot snap;
+  const ht::telemetry::TraceLoadResult lr =
+      ht::telemetry::load_trace(in_path, snap);
+  if (lr != ht::telemetry::TraceLoadResult::kOk) {
+    std::fprintf(stderr, "trace_profile: %s: %s\n", in_path.c_str(),
+                 ht::telemetry::trace_load_result_name(lr));
+    return 3;
+  }
+  if (snap.total_dropped() > 0) {
+    std::fprintf(stderr,
+                 "trace_profile: warning: %llu events lost to ring "
+                 "overwrite; attribution covers the surviving window only\n",
+                 static_cast<unsigned long long>(snap.total_dropped()));
+  }
+
+  const ht::analysis::profile::ProfileReport report =
+      ht::analysis::profile::build_profile(snap);
+
+  if (!json_path.empty() &&
+      !write_output(json_path,
+                    ht::analysis::profile::profile_to_json(report))) {
+    std::fprintf(stderr, "trace_profile: cannot write %s\n",
+                 json_path.c_str());
+    return 5;
+  }
+  if (!collapsed_path.empty() &&
+      !write_output(collapsed_path,
+                    ht::analysis::profile::profile_to_collapsed(report))) {
+    std::fprintf(stderr, "trace_profile: cannot write %s\n",
+                 collapsed_path.c_str());
+    return 5;
+  }
+  if (attribution || (json_path.empty() && collapsed_path.empty())) {
+    std::fputs(ht::analysis::profile::attribution_report(report).c_str(),
+               stdout);
+  }
+
+  const double err = report.attribution_error();
+  if (err * 100.0 > tolerance_pct) {
+    std::fprintf(stderr,
+                 "trace_profile: attribution error %.2f%% exceeds "
+                 "tolerance %.2f%%\n",
+                 err * 100.0, tolerance_pct);
+    return 6;
+  }
+  return 0;
+}
