@@ -21,6 +21,7 @@
 #include "common/flat_set.hpp"
 #include "common/mpsc_queue.hpp"
 #include "metadata/state_word.hpp"
+#include "tracking/elision_cache.hpp"
 #include "tracking/transition_stats.hpp"
 
 namespace ht {
@@ -112,25 +113,69 @@ class ThreadContext {
   bool registered = false;
 
   // --- hot thread-local state ------------------------------------------------
+  // One dedicated cache line (static_asserts below): every field here is
+  // read or written on the per-access fast path by the owning thread only,
+  // so nothing another thread writes may share the line (DESIGN.md §15.4).
   // Cached raw state words for the tracker fast paths (precomputed at reset).
-  std::uint64_t fast_wr_ex_opt = 0;  // WrExOpt(id).raw()
-  std::uint64_t fast_rd_ex_opt = 0;  // RdExOpt(id).raw()
+  alignas(kCacheLine) std::uint64_t fast_wr_ex_opt = 0;  // WrExOpt(id).raw()
+  std::uint64_t fast_rd_ex_opt = 0;                      // RdExOpt(id).raw()
 
   // Per-thread read-share counter (Table 1: fence transition iff
   // T.rdShCount < c).
   std::uint32_t rd_sh_count = 0;
+
+  // Barrier-elision kill switch (DESIGN.md §15). Owner-read (relaxed) on
+  // every cache probe; written by this thread at reset / race-detector
+  // attach, and cross-thread exactly once by Runtime::quarantine_thread —
+  // the victim cannot bump its own non-atomic epoch, so quarantine disables
+  // its cache wholesale before seizing any state. Quarantine is terminal,
+  // so the sticky false is permanent until the next reset.
+  std::atomic<bool> elision_on{false};
 
   // Deterministic instrumentation-point index (recorder §4.2): bumped at
   // every tracked access, workload poll site, and PSRO — never inside
   // nondeterministic spin loops.
   std::uint64_t point_index = 0;
 
+  // Barrier-elision epoch (DESIGN.md §15): bumped by this thread at every
+  // revocation-capable participation point (responding safe point, PSRO,
+  // blocking enter/exit, coordinate, quarantine unwind, exit flush), which
+  // stales the whole elision cache in O(1). Owner-only, hence non-atomic.
+  std::uint64_t elision_epoch = 1;
+
+  // Liveness-lease heartbeat: bumped at every poll, PSRO, and blocking
+  // boundary, mirrored into owner_side.heartbeat. Unlike last_poll (a mirror
+  // of point_index, which freezes inside long waits), the heartbeat also
+  // advances from respond_while_waiting, so a thread stuck *waiting* on a
+  // genuinely stalled peer still renews its own lease.
+  std::uint64_t heartbeat = 0;
+
+  // Monotonic per-requester span id source for batched coordination
+  // (DESIGN.md §14). Only this thread increments it (requester side), so it
+  // is plain. Span identity offline is (requester tid, span id); scalar
+  // coordination needs no counter — its span identity is (owner, ticket).
+  std::uint64_t coord_span_counter = 0;
+
+  // Elision cache payload: owner-only, probed on every tracked access. Own
+  // line(s) so probes never contend with the coordination words below.
+  alignas(kCacheLine) ElisionCache elision_cache;
+
+  // Snapshots of stats.elision_{hits,misses} taken when the last
+  // kElisionFlush event was emitted, so flush events carry per-window
+  // deltas rather than cumulative totals.
+  std::uint64_t elision_hits_at_flush = 0;
+  std::uint64_t elision_misses_at_flush = 0;
+
   // Deferred unlocking (§3.1): objects whose pessimistic states this thread
   // has locked, and the set of objects it holds read locks on (reentrancy).
   std::vector<ObjectMeta*> lock_buffer;
   FlatPtrSet rd_set;
 
-  TransitionStats stats;
+  // Per-thread statistics counters on their own line(s): they are bumped on
+  // tracker slow paths and at safe points, and previously shared a line with
+  // the coordination watermarks requesters spin on — every counter increment
+  // invalidated the requesters' read copies (false sharing).
+  alignas(kCacheLine) TransitionStats stats;
 
   // Telemetry ring (single-writer: this thread). Null unless a
   // TelemetrySession is installed on the runtime; the HT_TELEM_* macros
@@ -157,31 +202,20 @@ class ThreadContext {
   void* region_log_self = nullptr;
   ThreadHook region_log_fn = nullptr;  // recorder: log deterministic bump
 
-  // Set by ThreadRegistry::mark_exited; read by the coordination watchdog so
-  // stall diagnostics can distinguish "parked forever because it exited"
-  // from "blocked at a program operation".
-  std::atomic<bool> exited{false};
-
   // Set (by the victim itself) once it has observed its own quarantine bit
   // and self-parked. Purely an owner-thread flag consulted on the unwind
   // path (flush gating, unregister) — cross-thread readers use the status
   // word's quarantine bit instead.
   bool quarantined_self = false;
 
-  // Liveness-lease heartbeat: bumped at every poll, PSRO, and blocking
-  // boundary, mirrored into owner_side.heartbeat. Unlike last_poll (a mirror
-  // of point_index, which freezes inside long waits), the heartbeat also
-  // advances from respond_while_waiting, so a thread stuck *waiting* on a
-  // genuinely stalled peer still renews its own lease.
-  std::uint64_t heartbeat = 0;
-
-  // Monotonic per-requester span id source for batched coordination
-  // (DESIGN.md §14). Only this thread increments it (requester side), so it
-  // is plain. Span identity offline is (requester tid, span id); scalar
-  // coordination needs no counter — its span identity is (owner, ticket).
-  std::uint64_t coord_span_counter = 0;
-
   // --- shared coordination state (padded; written/read across threads) --------
+  // Set by ThreadRegistry::mark_exited; read by the coordination watchdog so
+  // stall diagnostics can distinguish "parked forever because it exited"
+  // from "blocked at a program operation". Cross-thread-read, so it lives
+  // with the coordination lines rather than among the hot owner-local
+  // fields the owner rewrites every poll.
+  alignas(kCacheLine) std::atomic<bool> exited{false};
+
   // status + response_watermark + release_counter: written by owner, read by
   // requesters. request_tickets: written by requesters, read by owner.
   struct alignas(kCacheLine) OwnerSide {
@@ -244,6 +278,29 @@ class ThreadContext {
     return owner_side.release_counter.load(std::memory_order_relaxed);
   }
 
+  // --- barrier elision (DESIGN.md §15) -----------------------------------------
+  // Probes are owner-only; the relaxed elision_on load doubles as the
+  // runtime on/off flag and the quarantine kill switch.
+  bool elide_store(const ObjectMeta* m) const {
+    return elision_on.load(std::memory_order_relaxed) &&
+           elision_cache.hit_store(m, elision_epoch);
+  }
+  bool elide_load(const ObjectMeta* m) const {
+    return elision_on.load(std::memory_order_relaxed) &&
+           elision_cache.hit_load(m, elision_epoch);
+  }
+  void elision_insert(const ObjectMeta* m, bool is_write) {
+    if (elision_on.load(std::memory_order_relaxed)) {
+      elision_cache.insert(m, elision_epoch, is_write);
+    }
+  }
+  // O(1) whole-cache invalidation; called by this thread at every
+  // revocation-capable participation point (see elision_cache.hpp).
+  void bump_elision_epoch() {
+    ++elision_epoch;
+    ++stats.elision_flushes;
+  }
+
   void run_flush_hook() {
     if (flush_fn != nullptr) flush_fn(flush_self, *this);
   }
@@ -260,6 +317,41 @@ class ThreadContext {
     if (region_log_fn != nullptr) region_log_fn(region_log_self, *this);
   }
 };
+
+// Cache-line audit (DESIGN.md §15.4). offsetof on this non-standard-layout
+// type is conditionally-supported; GCC and Clang both implement it and only
+// emit -Winvalid-offsetof, suppressed for exactly these checks.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+// The owner-local fast-path fields share one dedicated line...
+static_assert(offsetof(ThreadContext, fast_wr_ex_opt) % kCacheLine == 0,
+              "hot owner-local group must start a cache line");
+static_assert(offsetof(ThreadContext, coord_span_counter) +
+                      sizeof(std::uint64_t) -
+                      offsetof(ThreadContext, fast_wr_ex_opt) <=
+                  kCacheLine,
+              "hot owner-local group must fit one cache line");
+// ...and nothing cross-thread-written shares a line with them: the stats
+// counters, the exit flag, and each coordination structure start fresh
+// lines of their own.
+static_assert(offsetof(ThreadContext, elision_cache) % kCacheLine == 0,
+              "elision cache must not share the coordination lines");
+static_assert(offsetof(ThreadContext, stats) % kCacheLine == 0,
+              "per-thread stats must not share the hot or coordination lines");
+static_assert(offsetof(ThreadContext, exited) % kCacheLine == 0,
+              "cross-thread-read exit flag must leave the owner-local lines");
+static_assert(offsetof(ThreadContext, owner_side) % kCacheLine == 0 &&
+                  offsetof(ThreadContext, requester_side) % kCacheLine == 0 &&
+                  offsetof(ThreadContext, mailbox) % kCacheLine == 0 &&
+                  offsetof(ThreadContext, batch_pool) % kCacheLine == 0,
+              "coordination structures must keep their dedicated lines");
+static_assert(offsetof(ThreadContext, requester_side) -
+                      offsetof(ThreadContext, owner_side) >=
+                  kCacheLine,
+              "owner- and requester-written words must not share a line");
+#pragma GCC diagnostic pop
+#endif
 
 // Exception unwinding a region that responded to a coordination request
 // mid-execution (paper §5: regions restart after responding).

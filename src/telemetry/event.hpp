@@ -75,6 +75,13 @@ enum class EventKind : std::uint16_t {
   // consecutive transitions of the same object id.
   kStateTransition,  // arg0 = pack_transition(from kind, to kind),
                      // arg1 = object id
+
+  // Barrier elision (DESIGN.md §15): one event per epoch bump at a
+  // revocation-capable safe point, carrying the hit/miss deltas accumulated
+  // since the previous flush event on this thread. Deltas are zero on
+  // kStats=false tracker configurations (the probe only counts under kStats).
+  kElisionFlush,  // arg0 = elision hits since last flush, arg1 = misses
+                  // since last flush (low 32 bits), arg2 = new epoch (low 32)
 };
 
 // arg2 flag bits for kOptConflict / kPessAcquire.
@@ -121,6 +128,7 @@ inline const char* event_kind_name(EventKind k) {
     case EventKind::kCoordRequest: return "coord_request";
     case EventKind::kCoordBatchDrain: return "coord_batch_drain";
     case EventKind::kStateTransition: return "state_transition";
+    case EventKind::kElisionFlush: return "elision_flush";
   }
   return "unknown";
 }

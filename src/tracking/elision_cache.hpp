@@ -1,0 +1,130 @@
+// Epoch-tagged barrier elision (DESIGN.md §15): a per-thread ownership cache
+// that lets the trackers skip the state-word load entirely for objects this
+// thread confirmed it owned earlier in the current *poll epoch*.
+//
+// Soundness rests on the protocol's safe-point revocation invariant (paper
+// §2.2): a thread's optimistic ownership (WrExOpt/RdExOpt, RdSh freshness)
+// and its *held* pessimistic locks can only be taken away after the thread
+// itself participates — it responds at a safe point, parks at a blocking
+// boundary, or is quarantined. ThreadContext::elision_epoch is bumped at
+// exactly those participation points, so a cache entry stamped with the
+// current epoch proves no revocation-capable event has happened since the
+// tracker last confirmed ownership — the access would take the same-state /
+// reentrant no-op path, and skipping it loses nothing. Quarantine seizes
+// ownership *without* the victim's participation; the per-thread
+// `elision_on` kill switch (stored false into the victim before any state is
+// seized) closes that one hole, since the victim cannot bump its own
+// non-atomic epoch from another thread.
+//
+// States that can be revoked WITHOUT the owner reaching a safe point —
+// hybrid-model unlocked pessimistic states (any thread may CAS them to
+// LOCKED) and everything the standalone pessimistic tracker does — are never
+// inserted; see Tracker::kElidable and the insert sites.
+//
+// The cache is direct-mapped and tiny: a probe is one load of a 16-byte
+// entry plus two compares, deliberately cheaper than the atomic state-word
+// load + compare it replaces. Invalidation is O(1): bumping the epoch stales
+// every entry at once, so safe points pay one increment, not a cache walk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ht {
+
+class ObjectMeta;
+
+// Compile-time gate: -DHT_ELISION=OFF (CMake) defines HT_ELISION_DISABLED,
+// and the HT_CHECK_TRANSITIONS shadow checker disables elision structurally —
+// it validates every transition the trackers take, including same-state fast
+// paths, so no access may bypass the trackers while it is watching.
+#if defined(HT_ELISION_DISABLED) || defined(HT_CHECK_TRANSITIONS_ENABLED)
+#define HT_ELISION_RUNTIME 0
+#else
+#define HT_ELISION_RUNTIME 1
+#endif
+
+class ElisionCache {
+ public:
+  // 64 direct-mapped entries (1 KiB): covers a hot loop's working set while
+  // keeping reset()/clear cost trivial. Conflict misses just fall back to
+  // the tracker fast path.
+  static constexpr std::size_t kEntries = 64;
+
+  void clear() {
+    for (Entry& e : entries_) e = Entry{};
+  }
+
+  // A store hit requires a write-kind entry stamped with the current epoch.
+  bool hit_store(const ObjectMeta* obj, std::uint64_t epoch) const {
+    const Entry& e = entries_[slot(obj)];
+    return e.obj == obj && e.tag == write_tag(epoch);
+  }
+
+  // A load hit accepts either kind: write ownership subsumes read ownership
+  // in every tracked state (a WrEx owner / write-lock holder may read).
+  bool hit_load(const ObjectMeta* obj, std::uint64_t epoch) const {
+    const Entry& e = entries_[slot(obj)];
+    return e.obj == obj && (e.tag >> 1) == epoch;
+  }
+
+  // Insert on fast-path confirmation. A read insert must not downgrade a
+  // same-epoch write entry for the same object (write subsumes read).
+  void insert(const ObjectMeta* obj, std::uint64_t epoch, bool is_write) {
+    Entry& e = entries_[slot(obj)];
+    if (!is_write && e.obj == obj && e.tag == write_tag(epoch)) return;
+    e.obj = obj;
+    e.tag = (epoch << 1) | (is_write ? 1u : 0u);
+  }
+
+ private:
+  struct Entry {
+    const ObjectMeta* obj = nullptr;
+    // (epoch << 1) | write_bit. Epoch 0 is never current (reset() starts
+    // the epoch at 1), so a default entry can never hit.
+    std::uint64_t tag = 0;
+  };
+
+  static std::uint64_t write_tag(std::uint64_t epoch) {
+    return (epoch << 1) | 1u;
+  }
+
+  // Same shift telemetry::object_id uses: ObjectMeta is at least 16 bytes,
+  // so >>4 keeps neighboring objects from landing in one slot.
+  static std::size_t slot(const ObjectMeta* obj) {
+    return (reinterpret_cast<std::uintptr_t>(obj) >> 4) & (kEntries - 1);
+  }
+
+  Entry entries_[kEntries] = {};
+};
+
+// Structural elision traits, detected by TrackedVar/TrackedArray:
+//
+//   kElidable — the tracker declares that its same-state / reentrant paths
+//     are pure no-ops this cache may skip. Trackers with an active
+//     dependence sink set it false (the recorder must observe per-access
+//     edges), the standalone pessimistic tracker sets it false (it CAS-locks
+//     on EVERY access — nothing is redundant), and trackers without the
+//     member (custom test doubles) default to non-elidable.
+//
+//   kStatsOn — mirrors the tracker's kStats template flag so hit/miss
+//     counters cost nothing on the kStats=false bench configurations.
+template <typename Tracker>
+inline constexpr bool tracker_elidable_v = [] {
+  if constexpr (requires { Tracker::kElidable; }) {
+    return static_cast<bool>(Tracker::kElidable);
+  } else {
+    return false;
+  }
+}();
+
+template <typename Tracker>
+inline constexpr bool tracker_counts_stats_v = [] {
+  if constexpr (requires { Tracker::kStatsOn; }) {
+    return static_cast<bool>(Tracker::kStatsOn);
+  } else {
+    return true;  // unknown trackers keep the counters (correct, just warm)
+  }
+}();
+
+}  // namespace ht

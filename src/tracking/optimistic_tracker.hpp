@@ -25,6 +25,12 @@ class OptimisticTracker {
  public:
   static constexpr const char* kName = "optimistic";
   using Token = EmptyToken;
+  // Barrier elision (DESIGN.md §15): every state this tracker can confirm on
+  // its fast path (WrExOpt/RdExOpt self, fresh RdSh) is revocable only
+  // through this thread's safe points, so same-state accesses may be elided —
+  // unless a dependence sink is attached, which must see every access.
+  static constexpr bool kElidable = !Sink::kActive;
+  static constexpr bool kStatsOn = kStats;
 
   explicit OptimisticTracker(Runtime& rt, Sink* sink = nullptr)
       : runtime_(&rt), sink_(sink) {}
@@ -45,6 +51,7 @@ class OptimisticTracker {
     const StateWord s = m.load_state();
     if (s.raw() == ctx.fast_wr_ex_opt) {
       if constexpr (kStats) ++ctx.stats.opt_same;
+      if constexpr (kElidable) ctx.elision_insert(&m, /*is_write=*/true);
       HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                            .actor = ctx.id,
                            .object = &m,
@@ -79,6 +86,7 @@ class OptimisticTracker {
       const StateWord s = m.load_state();
       if (s.raw() == ctx.fast_wr_ex_opt) {
         if constexpr (kStats) ++ctx.stats.opt_same;
+        if constexpr (kElidable) ctx.elision_insert(&m, /*is_write=*/true);
         HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                              .actor = ctx.id,
                              .object = &m,
@@ -119,6 +127,8 @@ class OptimisticTracker {
     if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt ||
         (s.kind() == StateKind::kRdShOpt && ctx.rd_sh_count >= s.counter())) {
       if constexpr (kStats) ++ctx.stats.opt_same;
+      if constexpr (kElidable)
+        ctx.elision_insert(&m, /*is_write=*/s.raw() == ctx.fast_wr_ex_opt);
       HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                            .actor = ctx.id,
                            .object = &m,
@@ -152,6 +162,7 @@ class OptimisticTracker {
         // Another iteration (or a racing thread handing the state back)
         // already produced the state we need.
         if constexpr (kStats) ++ctx.stats.opt_same;
+        if constexpr (kElidable) ctx.elision_insert(&m, /*is_write=*/true);
         HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                              .actor = ctx.id,
                              .object = &m,
@@ -211,6 +222,8 @@ class OptimisticTracker {
       StateWord s = m.load_state();
       if (s.raw() == ctx.fast_wr_ex_opt || s.raw() == ctx.fast_rd_ex_opt) {
         if constexpr (kStats) ++ctx.stats.opt_same;
+        if constexpr (kElidable)
+          ctx.elision_insert(&m, /*is_write=*/s.raw() == ctx.fast_wr_ex_opt);
         HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                              .actor = ctx.id,
                              .object = &m,
@@ -224,6 +237,7 @@ class OptimisticTracker {
         case StateKind::kRdShOpt: {
           if (ctx.rd_sh_count >= s.counter()) {
             if constexpr (kStats) ++ctx.stats.opt_same;
+            if constexpr (kElidable) ctx.elision_insert(&m, /*is_write=*/false);
             HT_CHECK_TRANSITION({.family = analysis::TrackerFamily::kOptimistic,
                                  .actor = ctx.id,
                                  .object = &m,

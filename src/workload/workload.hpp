@@ -367,6 +367,11 @@ struct WorkloadRunResult {
   // contention than configured.
   double join_skew_seconds = 0;
   TransitionStats stats;
+  // The unmerged per-thread counters behind `stats` (index = ThreadId).
+  // Bench --json reports export the per-thread fast-path hit counts and
+  // elision hit rates from here; skew across threads is itself a signal
+  // (one thread missing its ownership cache means its objects are churning).
+  std::vector<TransitionStats> per_thread_stats;
   std::vector<std::uint64_t> checksums;
   // Threads that ended by ThreadQuarantined instead of completing their body
   // (DESIGN.md §11.2). Their checksum slot is whatever they had accumulated
@@ -447,6 +452,7 @@ WorkloadRunResult run_threads(int nthreads, MakeApi&& make_api, Init&& init,
   result.seconds = timer.elapsed_seconds();
   result.quarantined = quarantined_total.load(std::memory_order_relaxed);
   for (const auto& s : stats) result.stats += s;
+  result.per_thread_stats = std::move(stats);
   auto [first, last] = std::minmax_element(finished.begin(), finished.end());
   result.join_skew_seconds =
       std::chrono::duration<double>(*last - *first).count();

@@ -1,0 +1,369 @@
+// Barrier-elision soundness suite (DESIGN.md §15).
+//
+// Layers, bottom up:
+//   * ElisionCache unit semantics — epoch tagging, write-subsumes-read,
+//     no-downgrade inserts, direct-mapped eviction;
+//   * ThreadContext / Runtime wiring — the kill switches (RuntimeConfig,
+//     race-detector attach, quarantine) and the epoch bumps at every
+//     revocation-capable safe point;
+//   * tracker integration — elided accesses keep the conservation property,
+//     undo logging, and lock-buffer release behavior intact;
+//   * whole-schedule equivalence — exhaustive DFS over the builtin programs
+//     with elision on vs off must reach the SAME set of final memory
+//     outcomes, and race verdicts must be unaffected.
+//
+// The suite is meaningful in every build flavor: with HT_ELISION=OFF (or
+// under HT_CHECK_TRANSITIONS) the probe compiles away, elision_hits stays 0,
+// and the equivalence tests degenerate to self-comparisons — still green.
+#include "tracking/elision_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "raceck/race_detector.hpp"
+#include "schedule/explorer.hpp"
+#include "schedule/program.hpp"
+#include "tracking/hybrid_tracker.hpp"
+#include "tracking/optimistic_tracker.hpp"
+#include "tracking/pessimistic_tracker.hpp"
+#include "tracking/tracked_var.hpp"
+#include "workload/apis.hpp"
+
+namespace ht {
+namespace {
+
+// --- cache unit semantics ----------------------------------------------------
+
+TEST(ElisionCacheUnit, EpochTagGatesEveryHit) {
+  ElisionCache cache;
+  TrackedVar<std::uint64_t> var;
+  const ObjectMeta* m = &var.meta();
+
+  EXPECT_FALSE(cache.hit_load(m, 1));  // empty cache never hits
+  cache.insert(m, /*epoch=*/1, /*is_write=*/true);
+  EXPECT_TRUE(cache.hit_store(m, 1));
+  EXPECT_TRUE(cache.hit_load(m, 1));
+  // Any other epoch — older or newer — misses: a bump stales everything.
+  EXPECT_FALSE(cache.hit_store(m, 2));
+  EXPECT_FALSE(cache.hit_load(m, 2));
+  EXPECT_FALSE(cache.hit_load(m, 0));
+}
+
+TEST(ElisionCacheUnit, WriteSubsumesReadButNotConversely) {
+  ElisionCache cache;
+  TrackedVar<std::uint64_t> var;
+  const ObjectMeta* m = &var.meta();
+
+  cache.insert(m, 3, /*is_write=*/false);
+  EXPECT_TRUE(cache.hit_load(m, 3));
+  EXPECT_FALSE(cache.hit_store(m, 3));  // read ownership can't serve a store
+
+  cache.insert(m, 3, /*is_write=*/true);
+  EXPECT_TRUE(cache.hit_store(m, 3));
+  // A later read insert must not downgrade the same-epoch write entry.
+  cache.insert(m, 3, /*is_write=*/false);
+  EXPECT_TRUE(cache.hit_store(m, 3));
+}
+
+TEST(ElisionCacheUnit, DefaultEntriesNeverHitAtEpochZero) {
+  // reset() starts elision_epoch at 1 precisely so the zero tags of a
+  // cleared cache can never match; assert the representation invariant.
+  ElisionCache cache;
+  TrackedVar<std::uint64_t> var;
+  EXPECT_FALSE(cache.hit_load(&var.meta(), 0));
+  EXPECT_FALSE(cache.hit_store(&var.meta(), 0));
+}
+
+TEST(ElisionCacheUnit, DirectMappedEvictionFallsBackToMiss) {
+  // 200 objects over 64 slots: by pigeonhole some pair collides. Eviction
+  // must be silent replacement — the evicted object misses, nothing else.
+  ElisionCache cache;
+  std::vector<TrackedVar<std::uint64_t>> vars(200);
+  bool saw_eviction = false;
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    cache.clear();
+    cache.insert(&vars[0].meta(), 5, /*is_write=*/true);
+    ASSERT_TRUE(cache.hit_store(&vars[0].meta(), 5));
+    cache.insert(&vars[i].meta(), 5, /*is_write=*/true);
+    EXPECT_TRUE(cache.hit_store(&vars[i].meta(), 5));
+    if (!cache.hit_store(&vars[0].meta(), 5)) saw_eviction = true;
+  }
+  EXPECT_TRUE(saw_eviction) << "no slot collision in 200 objects over 64 "
+                               "slots — slot() is not direct-mapped";
+}
+
+// --- kill switches and epoch bumps -------------------------------------------
+
+TEST(ElisionWiring, RuntimeConfigSeedsTheKillSwitch) {
+  {
+    Runtime rt;
+    ThreadContext& ctx = rt.register_thread();
+    EXPECT_EQ(ctx.elision_on.load(std::memory_order_relaxed),
+              HT_ELISION_RUNTIME != 0);
+  }
+  {
+    RuntimeConfig rc;
+    rc.elision = false;
+    Runtime rt(rc);
+    ThreadContext& ctx = rt.register_thread();
+    EXPECT_FALSE(ctx.elision_on.load(std::memory_order_relaxed));
+  }
+}
+
+TEST(ElisionWiring, RaceDetectorAttachDisablesElision) {
+  // Bypass matrix: race-checked runs must observe every access unelided.
+  Runtime rt;
+  ThreadContext& ctx = rt.register_thread();
+  RaceDetector rd;
+  rd.attach_thread(ctx);
+  EXPECT_FALSE(ctx.elision_on.load(std::memory_order_relaxed));
+}
+
+TEST(ElisionWiring, QuarantineStoresTheKillSwitchIntoTheVictim) {
+  // Quarantine seizes ownership without the victim's participation — the
+  // one revocation the epoch cannot cover. The kill switch must land before
+  // any state is seized (it is stored right after the status CAS).
+  Runtime rt;
+  ThreadContext& self = rt.register_thread();
+  ThreadContext& victim = rt.register_thread();
+  ASSERT_TRUE(rt.quarantine_thread(self, victim.id));
+  EXPECT_FALSE(victim.elision_on.load(std::memory_order_relaxed));
+}
+
+TEST(ElisionWiring, EpochBumpInvalidatesAndSafePointsBump) {
+  Runtime rt;
+  ThreadContext& ctx = rt.register_thread();
+  TrackedVar<std::uint64_t> var;
+  ctx.elision_on.store(true, std::memory_order_relaxed);
+
+  ctx.elision_insert(&var.meta(), /*is_write=*/true);
+  EXPECT_TRUE(ctx.elide_store(&var.meta()));
+  const std::uint64_t epoch_before = ctx.elision_epoch;
+  ctx.bump_elision_epoch();
+  EXPECT_EQ(ctx.elision_epoch, epoch_before + 1);
+  EXPECT_FALSE(ctx.elide_store(&var.meta()));
+  EXPECT_EQ(ctx.stats.elision_flushes, 1u);
+
+  // Revocation-capable runtime safe points flush too: a PSRO (deferred
+  // locks release — other threads may take them immediately after) and a
+  // blocking window (implicit coordination revokes ownership while parked).
+  ctx.elision_insert(&var.meta(), /*is_write=*/true);
+  rt.psro(ctx);
+  EXPECT_FALSE(ctx.elide_store(&var.meta()));
+  ctx.elision_insert(&var.meta(), /*is_write=*/true);
+  rt.begin_blocking(ctx);
+  rt.end_blocking(ctx);
+  EXPECT_FALSE(ctx.elide_store(&var.meta()));
+  EXPECT_GE(ctx.stats.elision_flushes, 3u);
+}
+
+TEST(ElisionWiring, KillSwitchMakesEveryProbeMiss) {
+  Runtime rt;
+  ThreadContext& ctx = rt.register_thread();
+  TrackedVar<std::uint64_t> var;
+  ctx.elision_on.store(true, std::memory_order_relaxed);
+  ctx.elision_insert(&var.meta(), /*is_write=*/true);
+  ASSERT_TRUE(ctx.elide_store(&var.meta()));
+  ctx.elision_on.store(false, std::memory_order_relaxed);
+  EXPECT_FALSE(ctx.elide_store(&var.meta()));
+  EXPECT_FALSE(ctx.elide_load(&var.meta()));
+}
+
+// --- tracker integration -----------------------------------------------------
+
+TEST(ElisionTracking, OptimisticHotLoopConservesAccessCounts) {
+  Runtime rt;
+  OptimisticTracker<true> tracker(rt);
+  ThreadContext& ctx = rt.register_thread();
+  tracker.attach_thread(ctx);
+  TrackedVar<std::uint64_t> var;
+  var.init(tracker, ctx, 0);
+
+  constexpr std::uint64_t kN = 1000;
+  for (std::uint64_t i = 0; i < kN; ++i) var.store(tracker, ctx, i);
+  for (std::uint64_t i = 0; i < kN; ++i) (void)var.load(tracker, ctx);
+
+  EXPECT_EQ(ctx.stats.accesses(), 2 * kN);
+  EXPECT_EQ(var.raw_load(), kN - 1);
+#if HT_ELISION_RUNTIME
+  // All but the first (inserting) access hit the cache.
+  EXPECT_EQ(ctx.stats.elision_hits, 2 * kN - 1);
+  EXPECT_GT(ctx.stats.elision_hit_rate(), 0.99);
+#else
+  EXPECT_EQ(ctx.stats.elision_hits, 0u);
+#endif
+}
+
+TEST(ElisionTracking, HybridReentrantHeldLockLoopStaysLockedUntilFlush) {
+  Runtime rt;
+  HybridTracker<true> tracker(rt, HybridConfig{});
+  ThreadContext& ctx = rt.register_thread();
+  tracker.attach_thread(ctx);
+  TrackedVar<std::uint64_t> var;
+  var.init(tracker, ctx, 0);
+  var.meta().reset(StateWord::wr_ex_pess(ctx.id));
+
+  constexpr std::uint64_t kN = 500;
+  for (std::uint64_t i = 1; i <= kN; ++i) var.store(tracker, ctx, i);
+  // Elided or not, the write lock is still held and the value is current.
+  EXPECT_EQ(var.meta().load_state().kind(), StateKind::kWrExWLock);
+  EXPECT_EQ(var.raw_load(), kN);
+  EXPECT_EQ(ctx.stats.accesses(), kN);
+
+  // flush() is itself a revocation event: it must release the lock AND
+  // stale the cache, so post-flush accesses re-run the tracker. The
+  // post-flush kind depends on the adaptive policy's view: elided accesses
+  // skip profiling (state stays WrExPess), while an elision-off build
+  // profiles all kN non-conflicting accesses and returns the object to
+  // optimistic — both are legal, only the held lock is not.
+  tracker.flush(ctx);
+  const StateKind post = var.meta().load_state().kind();
+  EXPECT_NE(post, StateKind::kWrExWLock);
+  EXPECT_TRUE(post == StateKind::kWrExPess || post == StateKind::kWrExOpt);
+  EXPECT_FALSE(ctx.elide_store(&var.meta()));
+}
+
+TEST(ElisionTracking, ElidedStoresStillFeedTheUndoLog) {
+  // Region rollback must restore through elided stores: the undo-log push
+  // happens in TrackedVar::store on BOTH the elided and the tracked path.
+  Runtime rt;
+  HybridTracker<> tracker(rt, HybridConfig{});
+  RsEnforcer<HybridTracker<>> enf(rt, tracker);
+  EnforcerApi<HybridTracker<>> api(rt, enf);
+  api.begin_thread(0);
+  ThreadContext& ctx = api.context();
+  TrackedVar<std::uint64_t> v;
+  v.init(tracker, ctx, 7);
+  api.region([&] {
+    api.store(v, 1);
+    api.store(v, 2);  // elided when the cache is live
+    ASSERT_NE(ctx.undo_log, nullptr);
+    EXPECT_EQ(ctx.undo_log->size(), 2u);
+  });
+  EXPECT_EQ(v.raw_load(), 2u);
+  api.end_thread();
+}
+
+TEST(ElisionTracking, StandalonePessimisticNeverElides) {
+  static_assert(!tracker_elidable_v<PessimisticTracker<true>>,
+                "standalone pessimistic CAS-locks every access; its states "
+                "are takeable without the owner reaching a safe point");
+  Runtime rt;
+  PessimisticTracker<true> tracker(rt);
+  ThreadContext& ctx = rt.register_thread();
+  tracker.attach_thread(ctx);
+  TrackedVar<std::uint64_t> var;
+  var.init(tracker, ctx, 0);
+  for (int i = 0; i < 100; ++i) var.store(tracker, ctx, 1);
+  EXPECT_EQ(ctx.stats.elision_hits, 0u);
+  EXPECT_EQ(ctx.stats.accesses(), 100u);
+}
+
+}  // namespace
+}  // namespace ht
+
+// --- whole-schedule equivalence ----------------------------------------------
+
+namespace ht::schedule {
+namespace {
+
+constexpr std::uint64_t kBudget = 4096;
+
+struct EquivCase {
+  Family family;
+  std::string program;
+};
+
+std::string equiv_case_name(const ::testing::TestParamInfo<EquivCase>& info) {
+  std::string n = std::string(family_name(info.param.family)) + "_" +
+                  info.param.program;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+class ElisionEquivalenceP : public ::testing::TestWithParam<EquivCase> {};
+
+// The set of reachable final-memory outcomes over ALL interleavings must be
+// identical with the ownership cache on and off. (Final tracker STATES may
+// legitimately differ under the hybrid adaptive policy — elided accesses
+// skip profiling by design — so the key is program-visible memory.)
+TEST_P(ElisionEquivalenceP, OutcomeSetsMatchOnVsOff) {
+  const EquivCase& c = GetParam();
+  const Program* prog = find_builtin(c.program);
+  ASSERT_NE(prog, nullptr) << c.program;
+
+  auto outcome_set = [&](bool elision) {
+    Explorer ex(c.family, prog->nthreads());
+    ex.run_config().elision = elision;
+    std::set<std::vector<std::uint64_t>> outcomes;
+    ex.check_policy().extra = [&](const RunResult& r) -> std::string {
+      outcomes.insert(r.final_values);
+      return "";
+    };
+    const ExploreOutcome out = ex.explore_exhaustive(*prog, kBudget);
+    EXPECT_FALSE(out.violation.has_value())
+        << c.program << " elision=" << elision << ": "
+        << out.violation->to_string();
+    EXPECT_TRUE(out.stats.complete) << c.program << " elision=" << elision;
+    return outcomes;
+  };
+
+  const auto with_elision = outcome_set(true);
+  const auto without = outcome_set(false);
+  EXPECT_EQ(with_elision, without)
+      << c.program << ": elision changed the reachable final memory";
+}
+
+std::vector<EquivCase> equiv_cases() {
+  // The standalone pessimistic family is structurally non-elidable
+  // (kElidable = false), so on-vs-off is a self-comparison there; spend the
+  // exhaustive budget on the two families with live caches.
+  std::vector<EquivCase> cases;
+  for (Family f : {Family::kOptimistic, Family::kHybrid}) {
+    for (const NamedProgram& np : builtin_programs()) {
+      cases.push_back({f, np.name});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, ElisionEquivalenceP,
+                         ::testing::ValuesIn(equiv_cases()), equiv_case_name);
+
+// Race verdicts are elision-independent twice over: the explorer drives the
+// detector explicitly before each tracked access, and attach_thread stores
+// the kill switch anyway (bypass matrix). Assert the end-to-end property on
+// the canonical racy/synchronized pair under the hybrid tracker.
+TEST(ElisionRaceVerdicts, UnaffectedByElisionConfig) {
+  for (const char* name : {"locked-inc", "racy-inc"}) {
+    const Program* prog = find_builtin(name);
+    ASSERT_NE(prog, nullptr) << name;
+    std::uint64_t racy_schedules[2] = {0, 0};
+    for (int e = 0; e < 2; ++e) {
+      Explorer ex(Family::kHybrid, prog->nthreads());
+      ex.run_config().race_detect = true;
+      ex.run_config().elision = (e == 1);
+      ex.check_policy().extra = [&](const RunResult& r) -> std::string {
+        if (r.races.total() > 0) ++racy_schedules[e];
+        return "";
+      };
+      const ExploreOutcome out = ex.explore_exhaustive(*prog, kBudget);
+      EXPECT_FALSE(out.violation.has_value()) << out.violation->to_string();
+      EXPECT_TRUE(out.stats.complete);
+    }
+    EXPECT_EQ(racy_schedules[0], racy_schedules[1]) << name;
+    if (std::string(name) == "racy-inc") {
+      EXPECT_GT(racy_schedules[1], 0u) << "race oracle went dead";
+    } else {
+      EXPECT_EQ(racy_schedules[1], 0u) << "locked-inc must never race";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ht::schedule

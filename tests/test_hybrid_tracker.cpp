@@ -132,11 +132,14 @@ TEST_F(PessStateFixture, WriteByOwnerLocksWrExWLock) {
   EXPECT_TRUE(state_is(var.meta(), StateKind::kWrExWLock, owner->id));
   EXPECT_EQ(owner->stats.pess_uncontended, 1u);
   EXPECT_EQ(owner->stats.pess_reentrant, 0u);
-  // Reentrant same-state write and read while write-locked.
+  // Reentrant same-state write and read while write-locked. Barrier elision
+  // may serve the trailing accesses from the ownership cache (a reentrant
+  // held-lock access is exactly the case it targets), so count cache hits
+  // alongside the reentrant counters.
   var.store(tracker, *owner, 52);
   (void)var.load(tracker, *owner);
-  EXPECT_EQ(owner->stats.pess_uncontended, 3u);
-  EXPECT_EQ(owner->stats.pess_reentrant, 2u);
+  EXPECT_EQ(owner->stats.pess_uncontended + owner->stats.elision_hits, 3u);
+  EXPECT_EQ(owner->stats.pess_reentrant + owner->stats.elision_hits, 2u);
   tracker.flush(*owner);
   EXPECT_TRUE(state_is(var.meta(), StateKind::kWrExPess, owner->id));
 }
@@ -291,6 +294,10 @@ TEST_F(PessStateFixture, PolicyReturnsLowConflictObjectToOptimistic) {
   cfg.policy.inertia = 5;
   Tracker t2(rt, cfg);
   t2.attach_thread(*owner);
+  // The policy only profiles transitions the tracker actually sees; disable
+  // elision so all 6 writes reach it (elided accesses skip profiling by
+  // design — they change performance counters, never policy inputs).
+  owner->elision_on.store(false, std::memory_order_relaxed);
   // var is WrExPess(owner); 6 owner writes = 6 non-conflicting transitions.
   for (int i = 0; i < 6; ++i) var.store(t2, *owner, 1);
   t2.flush(*owner);

@@ -31,7 +31,10 @@ struct OptFixture : ::testing::Test {
 TEST_F(OptFixture, SameStateAccessesAreFastPath) {
   var.store(tracker, t0, 1);
   (void)var.load(tracker, t0);
-  EXPECT_EQ(t0.stats.opt_same, 2u);
+  // With barrier elision compiled in, the second access may be served by the
+  // ownership cache instead of the tracker fast path; either way both count
+  // as same-state accesses and neither coordinates.
+  EXPECT_EQ(t0.stats.opt_same + t0.stats.elision_hits, 2u);
   EXPECT_EQ(t0.stats.opt_conflicting(), 0u);
   EXPECT_TRUE(state_is(var.meta(), StateKind::kWrExOpt, t0.id));
 }
